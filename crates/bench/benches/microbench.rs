@@ -1,0 +1,142 @@
+//! Micro-benchmarks of the core kernels: HPWL evaluation, window
+//! partitioning, routing, window-problem construction, and the
+//! solver-engine ablation (exact DFS vs MILP vs greedy on identical
+//! window problems — the design choice DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vm1_core::problem::{Overrides, WindowProblem};
+use vm1_core::solver::{dfs_solve, greedy_solve, milp_window_solve};
+use vm1_core::window::{Window, WindowGrid};
+use vm1_core::Vm1Config;
+use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+use vm1_netlist::Design;
+use vm1_place::{place, PlaceConfig, RowMap};
+use vm1_route::{route, RouterConfig};
+use vm1_tech::{CellArch, Library};
+
+fn placed_design(n: usize) -> Design {
+    let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+    let mut d = GeneratorConfig::profile(DesignProfile::Aes)
+        .with_insts(n)
+        .generate(&lib, 7);
+    place(&mut d, &PlaceConfig::default(), 7);
+    d
+}
+
+fn window_problem(d: &Design, cells: usize) -> WindowProblem {
+    let cfg = Vm1Config::closedm1();
+    let rm = RowMap::build(d);
+    let win = Window {
+        site0: 0,
+        row0: 0,
+        w_sites: d.sites_per_row.min(40),
+        h_rows: d.num_rows.min(4),
+    };
+    let movable: Vec<_> = WindowProblem::movable_in_window(d, &rm, &win, &Overrides::new())
+        .into_iter()
+        .take(cells)
+        .collect();
+    WindowProblem::build(d, &rm, win, &movable, 3, 1, false, &cfg, &Overrides::new())
+}
+
+fn bench_hpwl(c: &mut Criterion) {
+    let d = placed_design(800);
+    c.bench_function("total_hpwl_800cells", |b| {
+        b.iter(|| black_box(d.total_hpwl()))
+    });
+}
+
+fn bench_alignment_count(c: &mut Criterion) {
+    let d = placed_design(800);
+    let cfg = Vm1Config::closedm1();
+    c.bench_function("count_alignments_800cells", |b| {
+        b.iter(|| black_box(vm1_core::count_alignments(&d, &cfg)))
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let d = placed_design(800);
+    c.bench_function("window_partition_and_diagonals", |b| {
+        b.iter(|| {
+            let g = WindowGrid::partition(&d, 3, 1, 40, 4);
+            black_box(g.diagonal_sets())
+        })
+    });
+}
+
+fn bench_problem_build(c: &mut Criterion) {
+    let d = placed_design(800);
+    c.bench_function("window_problem_build_8cells", |b| {
+        b.iter(|| black_box(window_problem(&d, 8)))
+    });
+}
+
+fn bench_route_small(c: &mut Criterion) {
+    let d = placed_design(250);
+    let mut g = c.benchmark_group("route");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("route_250cells", |b| {
+        b.iter(|| black_box(route(&d, &RouterConfig::default())))
+    });
+    g.finish();
+}
+
+fn bench_solver_ablation(c: &mut Criterion) {
+    let d = placed_design(800);
+    let prob = window_problem(&d, 6);
+    let cfg = Vm1Config::closedm1();
+    let mut g = c.benchmark_group("window_solver_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("dfs_exact", |b| {
+        b.iter(|| black_box(dfs_solve(&prob, 300_000)))
+    });
+    g.bench_function("milp_exact", |b| {
+        b.iter(|| black_box(milp_window_solve(&prob, &cfg)))
+    });
+    g.bench_function("greedy", |b| {
+        b.iter(|| black_box(greedy_solve(&prob, 4)))
+    });
+    g.finish();
+}
+
+fn bench_milp_kernel(c: &mut Criterion) {
+    // Pure MILP solver on a reference assignment problem.
+    use vm1_milp::{solve, Model, SolveParams};
+    let n = 6;
+    let mut m = Model::new();
+    let mut x = vec![vec![]; n];
+    for i in 0..n {
+        for j in 0..n {
+            x[i].push(m.add_binary(&format!("x{i}{j}")));
+        }
+    }
+    for i in 0..n {
+        m.add_eq(x[i].iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(), 1.0);
+        m.add_eq((0..n).map(|r| (x[r][i], 1.0)).collect::<Vec<_>>(), 1.0);
+        m.add_sos1(x[i].clone());
+    }
+    let mut obj = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            obj.push((x[i][j], ((i * 7 + j * 13) % 10) as f64));
+        }
+    }
+    m.set_objective(obj);
+    c.bench_function("milp_assignment_6x6", |b| {
+        b.iter(|| black_box(solve(&m, &SolveParams::default())))
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_hpwl,
+    bench_alignment_count,
+    bench_partition,
+    bench_problem_build,
+    bench_route_small,
+    bench_solver_ablation,
+    bench_milp_kernel
+);
+criterion_main!(micro);

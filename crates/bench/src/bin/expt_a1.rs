@@ -1,0 +1,46 @@
+//! ExptA-1 / Figure 5: routed wirelength and runtime versus window size
+//! and perturbation range (one DistOpt pair per point), on the aes-like
+//! ClosedM1 design.
+
+use vm1_bench::env_cli;
+use vm1_flow::experiments::expt_a1;
+
+fn main() {
+    let cli = env_cli();
+    println!("# ExptA-1 (Figure 5): RWL & runtime vs window size / perturbation range");
+    println!("# design: aes_like, ClosedM1, alpha=1200, one DistOpt pair per point");
+    println!("{:>8} {:>4} {:>4} {:>12} {:>12} {:>10} {:>10}",
+        "bw(um)", "lx", "ly", "RWL(um)", "normRWL", "time(ms)", "normTime");
+    let rows = expt_a1(cli.scale);
+    let min_rwl = rows.iter().map(|r| r.rwl_um).fold(f64::INFINITY, f64::min);
+    let min_t = rows
+        .iter()
+        .map(|r| r.runtime_ms)
+        .min()
+        .unwrap_or(1)
+        .max(1) as f64;
+    for r in &rows {
+        println!(
+            "{:>8.1} {:>4} {:>4} {:>12.1} {:>12.4} {:>10} {:>10.2}",
+            r.bw_um,
+            r.lx,
+            r.ly,
+            r.rwl_um,
+            r.rwl_um / min_rwl,
+            r.runtime_ms,
+            r.runtime_ms as f64 / min_t
+        );
+    }
+    // The paper's selection rule: shortest runtime within 1 % of the best
+    // routed wirelength.
+    let best = rows
+        .iter()
+        .filter(|r| r.rwl_um <= min_rwl * 1.01)
+        .min_by_key(|r| r.runtime_ms);
+    if let Some(b) = best {
+        println!(
+            "# selected (<=1% RWL, min runtime): bw={} lx={} ly={}  (paper: 20um, 4, 1)",
+            b.bw_um, b.lx, b.ly
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! ExptB / Table 2: the full detailed-placement optimization results for
+//! the four design profiles, ClosedM1 and OpenM1.
+
+use vm1_bench::env_cli;
+use vm1_flow::experiments::expt_b;
+use vm1_flow::format_table2;
+use vm1_tech::CellArch;
+
+fn main() {
+    let cli = env_cli();
+    for arch in cli.archs.list() {
+        let title = match arch {
+            CellArch::OpenM1 => "OpenM1-based designs (alpha = 1000)",
+            _ => "ClosedM1-based designs (alpha = 1200)",
+        };
+        let rows = expt_b(cli.scale, arch);
+        print!("{}", format_table2(title, &rows));
+        // Aggregate shape statement, mirroring the paper's summary.
+        let max_rwl_red = rows
+            .iter()
+            .map(|r| -r.rwl_delta_pct())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let max_via_red = rows
+            .iter()
+            .map(|r| -r.via12_delta_pct())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let avg_ratio: f64 = rows
+            .iter()
+            .map(vm1_flow::ExperimentRow::dm1_ratio)
+            .filter(|r| r.is_finite())
+            .sum::<f64>()
+            / rows.len() as f64;
+        println!(
+            "# up to {max_rwl_red:.1}% RWL reduction, up to {max_via_red:.1}% #via12 reduction, avg dM1 ratio {avg_ratio:.1}x"
+        );
+        match arch {
+            CellArch::OpenM1 => println!("# paper: up to 2.2% RWL, 4.1% #via12, ~1.6x dM1"),
+            _ => println!("# paper: up to 6.4% RWL, 14.4% #via12, >4x dM1"),
+        }
+        println!();
+    }
+}

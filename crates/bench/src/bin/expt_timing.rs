@@ -1,0 +1,21 @@
+//! Timing-criticality-weighted optimization (the paper's future-work
+//! item ii): uniform β versus slack-derived β_n under a tightened clock.
+
+use vm1_bench::env_cli;
+use vm1_flow::experiments::expt_timing_driven;
+
+fn main() {
+    let cli = env_cli();
+    println!("# Timing-driven extension: criticality boost vs final WNS (aes_like, ClosedM1,");
+    println!("# clock tightened 3% below the initial critical path)");
+    println!("{:>8} {:>10} {:>8} {:>12}", "boost", "WNS(ns)", "#dM1", "RWL(um)");
+    for r in expt_timing_driven(cli.scale) {
+        println!(
+            "{:>8.1} {:>10.3} {:>8} {:>12.1}",
+            r.boost, r.wns_ns, r.dm1, r.rwl_um
+        );
+    }
+    println!();
+    println!("# boost = 0 is the paper's uniform-β objective; positive boosts weight");
+    println!("# critical nets more heavily, trading some alignments for timing.");
+}

@@ -1,0 +1,313 @@
+//! Algorithm 2 — `DistOpt`: distributable window optimization.
+//!
+//! The layout is partitioned into windows (shifted by `(tx, ty)`); the
+//! diagonal sets of [`crate::window::WindowGrid::diagonal_sets`] are
+//! processed one after another, and the windows *within* a set are solved
+//! in parallel (their projections are disjoint, so window-local ΔHPWL is
+//! exact — Figure 4b). Windows holding more movable cells than
+//! `max_cells_per_milp` are solved in sequential batches with earlier
+//! batches fixed (the documented CPLEX-scale substitution, DESIGN.md §5).
+
+use crate::problem::{Candidate, Overrides, WindowProblem};
+use crate::solver::solve_window;
+use crate::window::{Window, WindowGrid};
+use crate::Vm1Config;
+use std::collections::HashSet;
+use std::sync::Mutex;
+use vm1_netlist::{Design, InstId};
+use vm1_place::RowMap;
+
+/// Cache for the smart window selection: remembers problem-state digests
+/// whose (deterministic) solve produced no improvement, so re-solving an
+/// unchanged window is skipped. Sound because
+/// [`WindowProblem::state_digest`] covers everything a solver observes.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    no_gain: Mutex<HashSet<u64>>,
+}
+
+impl SolveCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> SolveCache {
+        SolveCache::default()
+    }
+
+    fn known_no_gain(&self, digest: u64) -> bool {
+        self.no_gain.lock().expect("cache lock").contains(&digest)
+    }
+
+    fn record_no_gain(&self, digest: u64) {
+        self.no_gain.lock().expect("cache lock").insert(digest);
+    }
+
+    /// Number of remembered no-gain states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.no_gain.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Parameters of one `DistOpt` call (Algorithm 2's arguments).
+#[derive(Clone, Copy, Debug)]
+pub struct DistOptParams {
+    /// Window-grid x shift, in sites.
+    pub tx: i64,
+    /// Window-grid y shift, in rows.
+    pub ty: i64,
+    /// Window width in sites.
+    pub bw_sites: i64,
+    /// Window height in rows.
+    pub bh_rows: i64,
+    /// Max x displacement in sites (`l_x`).
+    pub lx: i64,
+    /// Max y displacement in rows (`l_y`).
+    pub ly: i64,
+    /// Whether flipping is allowed (`f`).
+    pub flip: bool,
+}
+
+/// Statistics of one `DistOpt` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistOptStats {
+    /// Windows containing at least one movable cell.
+    pub windows: usize,
+    /// Total cells moved or flipped.
+    pub cells_changed: usize,
+    /// Parallel rounds executed (= number of diagonal sets).
+    pub rounds: usize,
+    /// Window batches skipped by the smart selection cache.
+    pub batches_skipped: usize,
+}
+
+/// Runs one distributable optimization pass; mutates the placement.
+///
+/// # Panics
+///
+/// Panics if the resulting placement were illegal (this is a bug guard —
+/// window solutions are legal by construction).
+pub fn dist_opt(design: &mut Design, p: &DistOptParams, cfg: &Vm1Config) -> DistOptStats {
+    dist_opt_cached(design, p, cfg, None)
+}
+
+/// [`dist_opt`] with an optional smart window-selection cache shared
+/// across calls (the paper's improvement (ii) over the distributable
+/// optimization of Han et al.).
+pub fn dist_opt_cached(
+    design: &mut Design,
+    p: &DistOptParams,
+    cfg: &Vm1Config,
+    cache: Option<&SolveCache>,
+) -> DistOptStats {
+    let grid = WindowGrid::partition(design, p.tx, p.ty, p.bw_sites, p.bh_rows);
+    let sets = grid.diagonal_sets();
+    let mut stats = DistOptStats {
+        rounds: sets.len(),
+        ..DistOptStats::default()
+    };
+
+    for set in sets {
+        // Snapshot occupancy for this round.
+        let rowmap = RowMap::build(design);
+        let windows: Vec<Window> = set.iter().map(|&i| grid.windows[i]).collect();
+
+        // Solve windows of the set in parallel.
+        let design_ref: &Design = design;
+        let rowmap_ref = &rowmap;
+        let mut results: Vec<(Vec<(InstId, Candidate)>, usize)> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(windows.len());
+            for chunk in windows.chunks(windows.len().div_ceil(cfg.threads.max(1)).max(1)) {
+                handles.push(scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|win| solve_one_window(design_ref, rowmap_ref, *win, p, cfg, cache))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("window solver thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+
+        // Commit (windows are disjoint, so order does not matter; keep it
+        // deterministic anyway).
+        for (moves, skipped) in results {
+            stats.batches_skipped += skipped;
+            if !moves.is_empty() {
+                stats.windows += 1;
+            }
+            for (inst, cand) in moves {
+                let before = {
+                    let i = design.inst(inst);
+                    (i.site, i.row, i.orient)
+                };
+                if before != (cand.site, cand.row, cand.orient) {
+                    stats.cells_changed += 1;
+                }
+                design.move_inst(inst, cand.site, cand.row, cand.orient);
+            }
+        }
+    }
+
+    debug_assert!(
+        design.validate_placement().is_ok(),
+        "DistOpt produced an illegal placement"
+    );
+    stats
+}
+
+/// Solves one window (with batching); returns the moves to commit and the
+/// number of batches skipped via the cache.
+fn solve_one_window(
+    design: &Design,
+    rowmap: &RowMap,
+    win: Window,
+    p: &DistOptParams,
+    cfg: &Vm1Config,
+    cache: Option<&SolveCache>,
+) -> (Vec<(InstId, Candidate)>, usize) {
+    let mut overrides = Overrides::new();
+    let movable = WindowProblem::movable_in_window(design, rowmap, &win, &overrides);
+    if movable.is_empty() {
+        return (Vec::new(), 0);
+    }
+    let mut moves = Vec::new();
+    let mut skipped = 0;
+    for batch in movable.chunks(cfg.max_cells_per_milp.max(1)) {
+        let prob = WindowProblem::build(
+            design, rowmap, win, batch, p.lx, p.ly, p.flip, cfg, &overrides,
+        );
+        let digest = prob.state_digest();
+        if let Some(c) = cache {
+            if c.known_no_gain(digest) {
+                skipped += 1;
+                continue; // identical state solved before with no gain
+            }
+        }
+        let assign = solve_window(&prob, cfg);
+        if assign == prob.current_assign() {
+            if let Some(c) = cache {
+                c.record_no_gain(digest);
+            }
+            continue;
+        }
+        for (cell, &k) in prob.cells.iter().zip(&assign) {
+            let cand = cell.cands[k];
+            overrides.insert(cell.inst, cand);
+            moves.push((cell.inst, cand));
+        }
+    }
+    (moves, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculate_obj;
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_place::{place, PlaceConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn setup(arch: CellArch, n: usize, seed: u64) -> (Design, Vm1Config) {
+        let lib = Library::synthetic_7nm(arch);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(n)
+            .generate(&lib, seed);
+        place(&mut d, &PlaceConfig::default(), seed);
+        let cfg = if arch == CellArch::OpenM1 {
+            Vm1Config::openm1()
+        } else {
+            Vm1Config::closedm1()
+        };
+        (d, cfg)
+    }
+
+    fn params(d: &Design) -> DistOptParams {
+        DistOptParams {
+            tx: 0,
+            ty: 0,
+            bw_sites: (d.sites_per_row / 3).max(10),
+            bh_rows: (d.num_rows / 3).max(2),
+            lx: 3,
+            ly: 1,
+            flip: false,
+        }
+    }
+
+    #[test]
+    fn distopt_improves_objective_and_stays_legal() {
+        let (mut d, cfg) = setup(CellArch::ClosedM1, 250, 1);
+        let before = calculate_obj(&d, &cfg);
+        let p = params(&d);
+        let stats = dist_opt(&mut d, &p, &cfg);
+        let after = calculate_obj(&d, &cfg);
+        d.validate_placement().expect("legal after DistOpt");
+        assert!(after.value <= before.value + 1e-6);
+        assert!(stats.windows > 0);
+        assert!(stats.rounds > 0);
+        // The optimizer's purpose: more alignments.
+        assert!(after.alignments >= before.alignments);
+    }
+
+    #[test]
+    fn distopt_openm1_improves_overlaps() {
+        let (mut d, cfg) = setup(CellArch::OpenM1, 250, 2);
+        let before = calculate_obj(&d, &cfg);
+        let p = params(&d);
+        dist_opt(&mut d, &p, &cfg);
+        let after = calculate_obj(&d, &cfg);
+        d.validate_placement().unwrap();
+        assert!(after.value <= before.value + 1e-6);
+        assert!(after.alignments >= before.alignments);
+    }
+
+    #[test]
+    fn flip_only_pass_preserves_positions() {
+        let (mut d, cfg) = setup(CellArch::ClosedM1, 200, 3);
+        let positions: Vec<(i64, i64)> = d.insts().map(|(_, i)| (i.site, i.row)).collect();
+        let p = DistOptParams {
+            lx: 0,
+            ly: 0,
+            flip: true,
+            ..params(&d)
+        };
+        dist_opt(&mut d, &p, &cfg);
+        for ((_, inst), before) in d.insts().zip(positions) {
+            assert_eq!((inst.site, inst.row), before, "flip-only must not move");
+        }
+        d.validate_placement().unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (mut d1, cfg) = setup(CellArch::ClosedM1, 200, 4);
+        let (mut d2, _) = setup(CellArch::ClosedM1, 200, 4);
+        let p1 = params(&d1);
+        let p2 = params(&d2);
+        dist_opt(&mut d1, &p1, &cfg);
+        dist_opt(&mut d2, &p2, &cfg);
+        for ((_, a), (_, b)) in d1.insts().zip(d2.insts()) {
+            assert_eq!((a.site, a.row, a.orient), (b.site, b.row, b.orient));
+        }
+    }
+
+    #[test]
+    fn hpwl_cannot_explode() {
+        // With α = 0 the optimizer is purely HPWL-driven and must not make
+        // wirelength worse.
+        let (mut d, cfg) = setup(CellArch::ClosedM1, 200, 5);
+        let cfg = cfg.with_alpha(0.0);
+        let before = d.total_hpwl();
+        let p = params(&d);
+        dist_opt(&mut d, &p, &cfg);
+        assert!(d.total_hpwl() <= before);
+    }
+}

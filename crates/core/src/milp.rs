@@ -1,0 +1,474 @@
+//! The paper's MILP formulations, built from a [`WindowProblem`].
+//!
+//! * ClosedM1: objective (1), constraints (2)–(9);
+//! * OpenM1: objective (10), constraints (2)–(3), (5)–(9), (11)–(14).
+//!
+//! Differences from the printed formulation, none of which change the
+//! polytope:
+//!
+//! * `s_crq` occupancy variables are constants per candidate, so
+//!   constraints (8)–(9) are emitted directly as per-site clique
+//!   constraints `Σ λ covering site ≤ 1`;
+//! * big-M constants `G` are computed per constraint from the candidate
+//!   coordinate ranges (tight M), not one huge global constant;
+//! * pairs that can never align (no candidate combination within γ rows
+//!   and alignable in x) are presolved away, and the generalized γ·H
+//!   window of constraint (12) is also applied to the ClosedM1 alignment
+//!   constraint (4) (the printed (4) is the γ = 1 case).
+
+use crate::problem::{End, WindowProblem};
+use std::collections::HashMap;
+use vm1_milp::{Model, VarId};
+
+/// Mapping from problem entities to MILP variables, for solution
+/// extraction and warm starts.
+#[derive(Clone, Debug)]
+pub struct MilpVars {
+    /// λ variables per cell (parallel to `cands`).
+    pub lambda: Vec<Vec<VarId>>,
+    /// Per net: `(xmin, xmax, ymin, ymax, w)`.
+    pub net_bounds: Vec<(VarId, VarId, VarId, VarId, VarId)>,
+    /// `d_pq` per surviving pair (index into `WindowProblem::pairs`).
+    pub d: Vec<VarId>,
+    /// OpenM1 only: `(a, b, o, v)` per pair.
+    pub overlap: Vec<Option<(VarId, VarId, VarId, VarId)>>,
+}
+
+/// Builds the MILP for a window problem. Returns the model plus the
+/// variable mapping.
+#[must_use]
+pub fn build_milp(prob: &WindowProblem) -> (Model, MilpVars) {
+    let mut m = Model::new();
+
+    // ---- λ variables, constraint (5), SOS1 ----------------------------
+    let mut lambda: Vec<Vec<VarId>> = Vec::with_capacity(prob.cells.len());
+    for (c, cell) in prob.cells.iter().enumerate() {
+        let vars: Vec<VarId> = (0..cell.cands.len())
+            .map(|k| m.add_binary(&format!("l_{c}_{k}")))
+            .collect();
+        m.add_eq(
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            1.0,
+        );
+        m.add_sos1(vars.clone());
+        lambda.push(vars);
+    }
+
+    // ---- constraint (9): site cliques ----------------------------------
+    // For each window site, the sum of λ whose footprint covers it ≤ 1
+    // (+0 if a fixed cell covers it — then the candidates were pruned).
+    let mut site_cover: HashMap<(i64, i64), Vec<(VarId, f64)>> = HashMap::new();
+    for (c, cell) in prob.cells.iter().enumerate() {
+        for (k, cand) in cell.cands.iter().enumerate() {
+            for s in cand.site..cand.site + cell.width {
+                site_cover
+                    .entry((cand.row, s))
+                    .or_default()
+                    .push((lambda[c][k], 1.0));
+            }
+        }
+    }
+    for (_, cover) in site_cover {
+        if cover.len() > 1 {
+            m.add_le(cover, 1.0);
+        }
+    }
+
+    // ---- net bound variables, constraints (2)–(3) ----------------------
+    let mut net_bounds = Vec::with_capacity(prob.nets.len());
+    let mut objective: Vec<(VarId, f64)> = Vec::new();
+    for (n, net) in prob.nets.iter().enumerate() {
+        // Coordinate ranges over all pins (fixed + all candidates).
+        let mut x_rng = (i64::MAX, i64::MIN);
+        let mut y_rng = (i64::MAX, i64::MIN);
+        let grow = |x: i64, y: i64, x_rng: &mut (i64, i64), y_rng: &mut (i64, i64)| {
+            x_rng.0 = x_rng.0.min(x);
+            x_rng.1 = x_rng.1.max(x);
+            y_rng.0 = y_rng.0.min(y);
+            y_rng.1 = y_rng.1.max(y);
+        };
+        if let Some((x0, y0, x1, y1)) = net.fixed {
+            grow(x0, y0, &mut x_rng, &mut y_rng);
+            grow(x1, y1, &mut x_rng, &mut y_rng);
+        }
+        for &(cell, slot) in &net.movable {
+            for k in 0..prob.cells[cell].cands.len() {
+                let g = prob.pin_geo[cell][k][slot];
+                grow(g.x, g.y, &mut x_rng, &mut y_rng);
+            }
+        }
+        let (xl, xh) = (x_rng.0 as f64, x_rng.1 as f64);
+        let (yl, yh) = (y_rng.0 as f64, y_rng.1 as f64);
+        let xmin = m.add_continuous(&format!("xmin_{n}"), xl, xh);
+        let xmax = m.add_continuous(&format!("xmax_{n}"), xl, xh);
+        let ymin = m.add_continuous(&format!("ymin_{n}"), yl, yh);
+        let ymax = m.add_continuous(&format!("ymax_{n}"), yl, yh);
+        let w = m.add_continuous(&format!("w_{n}"), 0.0, (xh - xl) + (yh - yl));
+        // (2): w = xmax - xmin + ymax - ymin.
+        m.add_eq(
+            [(w, 1.0), (xmax, -1.0), (xmin, 1.0), (ymax, -1.0), (ymin, 1.0)],
+            0.0,
+        );
+        // (3) for fixed pins: constants tighten the bounds directly.
+        if let Some((x0, y0, x1, y1)) = net.fixed {
+            m.add_ge([(xmax, 1.0)], x1 as f64);
+            m.add_le([(xmin, 1.0)], x0 as f64);
+            m.add_ge([(ymax, 1.0)], y1 as f64);
+            m.add_le([(ymin, 1.0)], y0 as f64);
+        }
+        // (3) for movable pins: xmax ≥ Σ λ·pos etc.
+        for &(cell, slot) in &net.movable {
+            let xs: Vec<f64> = (0..prob.cells[cell].cands.len())
+                .map(|k| prob.pin_geo[cell][k][slot].x as f64)
+                .collect();
+            let ys: Vec<f64> = (0..prob.cells[cell].cands.len())
+                .map(|k| prob.pin_geo[cell][k][slot].y as f64)
+                .collect();
+            let mut e_xmax = vec![(xmax, 1.0)];
+            let mut e_xmin = vec![(xmin, 1.0)];
+            let mut e_ymax = vec![(ymax, 1.0)];
+            let mut e_ymin = vec![(ymin, 1.0)];
+            for (k, &lam) in lambda[cell].iter().enumerate() {
+                e_xmax.push((lam, -xs[k]));
+                e_xmin.push((lam, -xs[k]));
+                e_ymax.push((lam, -ys[k]));
+                e_ymin.push((lam, -ys[k]));
+            }
+            m.add_ge(e_xmax, 0.0);
+            m.add_le(e_xmin, 0.0);
+            m.add_ge(e_ymax, 0.0);
+            m.add_le(e_ymin, 0.0);
+        }
+        objective.push((w, net.weight));
+        net_bounds.push((xmin, xmax, ymin, ymax, w));
+    }
+
+    // ---- pair variables -------------------------------------------------
+    let mut d_vars = Vec::with_capacity(prob.pairs.len());
+    let mut overlap_vars = Vec::with_capacity(prob.pairs.len());
+    for (pi, pair) in prob.pairs.iter().enumerate() {
+        let d = m.add_binary(&format!("d_{pi}"));
+        objective.push((d, -prob.alpha));
+        d_vars.push(d);
+
+        // Position expressions: x_p as (terms over λ, constant).
+        let (xa_terms, xa_rng) = x_expr(prob, &lambda, &pair.a);
+        let (xb_terms, xb_rng) = x_expr(prob, &lambda, &pair.b);
+        let (ya_terms, ya_rng) = y_expr(prob, &lambda, &pair.a);
+        let (yb_terms, yb_rng) = y_expr(prob, &lambda, &pair.b);
+
+        // Δy constraints shared by both architectures: when d = 1, pins
+        // must lie within γ·H vertically.
+        let gy = (ya_rng.1 - yb_rng.0).max(yb_rng.1 - ya_rng.0).max(0) as f64;
+        add_indicator_abs_le(
+            &mut m,
+            &ya_terms,
+            &yb_terms,
+            d,
+            prob.gamma_span as f64,
+            gy,
+        );
+
+        if prob.exact {
+            // ClosedM1 constraint (4): d = 1 forces x_p == x_q.
+            let gx = (xa_rng.1 - xb_rng.0).max(xb_rng.1 - xa_rng.0).max(0) as f64;
+            add_indicator_abs_le(&mut m, &xa_terms, &xb_terms, d, 0.0, gx);
+            overlap_vars.push(None);
+        } else {
+            // OpenM1 constraints (11)–(14).
+            let (lo_a, lo_a_rng) = x_lo_expr(prob, &lambda, &pair.a);
+            let (lo_b, lo_b_rng) = x_lo_expr(prob, &lambda, &pair.b);
+            let (hi_a, hi_a_rng) = x_hi_expr(prob, &lambda, &pair.a);
+            let (hi_b, hi_b_rng) = x_hi_expr(prob, &lambda, &pair.b);
+            let a_lo = lo_a_rng.0.min(lo_b_rng.0) as f64;
+            let a_hi = lo_a_rng.1.max(lo_b_rng.1) as f64;
+            let b_lo = hi_a_rng.0.min(hi_b_rng.0) as f64;
+            let b_hi = hi_a_rng.1.max(hi_b_rng.1) as f64;
+            let a = m.add_continuous(&format!("a_{pi}"), a_lo, a_hi.max(a_lo));
+            let b = m.add_continuous(&format!("b_{pi}"), b_lo.min(b_hi), b_hi);
+            // (11): a ≥ lo_p, a ≥ lo_q; b ≤ hi_p, b ≤ hi_q —
+            //   a - Σ lo_terms ≥ lo_const, etc.
+            for (var, expr, ge) in [(a, &lo_a, true), (a, &lo_b, true), (b, &hi_a, false), (b, &hi_b, false)] {
+                let mut e = vec![(var, 1.0)];
+                for &(v, c) in &expr.0 {
+                    e.push((v, -c));
+                }
+                if ge {
+                    m.add_ge(e, expr.1);
+                } else {
+                    m.add_le(e, expr.1);
+                }
+            }
+            // v_pq + (12).
+            let v = m.add_binary(&format!("v_{pi}"));
+            let gy2 = gy + prob.gamma_span as f64;
+            // Δy ≤ G·v + γH ; Δy ≥ -G·v - γH.
+            let mut e1: Vec<(VarId, f64)> = Vec::new();
+            let mut c1 = 0.0;
+            diff_terms(&ya_terms, &yb_terms, &mut e1, &mut c1);
+            let mut e1v = e1.clone();
+            e1v.push((v, -gy2));
+            m.add_le(e1v, prob.gamma_span as f64 - c1);
+            let mut e2v = e1;
+            e2v.push((v, gy2));
+            m.add_ge(e2v, -(prob.gamma_span as f64) - c1);
+            // (14): d + v ≤ 1.
+            m.add_le([(d, 1.0), (v, 1.0)], 1.0);
+            // (13): o ≤ b - a - δ + G(1-d); o ≤ G d; o ≥ -G(1-d).
+            let g_o = (b_hi - a_lo).abs() + prob.delta as f64 + 1.0;
+            let o = m.add_continuous(&format!("o_{pi}"), -g_o, g_o);
+            m.add_le(
+                [(o, 1.0), (b, -1.0), (a, 1.0), (d, g_o)],
+                g_o - prob.delta as f64,
+            );
+            m.add_le([(o, 1.0), (d, -g_o)], 0.0);
+            m.add_ge([(o, 1.0), (d, -g_o)], -g_o);
+            objective.push((o, -prob.epsilon));
+            overlap_vars.push(Some((a, b, o, v)));
+        }
+    }
+
+    m.set_objective(objective);
+    (
+        m,
+        MilpVars {
+            lambda,
+            net_bounds,
+            d: d_vars,
+            overlap: overlap_vars,
+        },
+    )
+}
+
+/// Extracts the per-cell candidate assignment from a MILP solution vector.
+#[must_use]
+pub fn extract_assignment(vars: &MilpVars, values: &[f64]) -> Vec<usize> {
+    vars.lambda
+        .iter()
+        .map(|lams| {
+            lams.iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    values[a.1.index()]
+                        .partial_cmp(&values[b.1.index()])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(k, _)| k)
+                .expect("non-empty candidate list")
+        })
+        .collect()
+}
+
+/// Builds a warm-start solution vector for the model from an assignment.
+#[must_use]
+pub fn warm_start(
+    prob: &WindowProblem,
+    model: &Model,
+    vars: &MilpVars,
+    assign: &[usize],
+) -> Vec<f64> {
+    let mut x = vec![0.0; model.num_vars()];
+    for (c, lams) in vars.lambda.iter().enumerate() {
+        for (k, lam) in lams.iter().enumerate() {
+            x[lam.index()] = if k == assign[c] { 1.0 } else { 0.0 };
+        }
+    }
+    for (n, net) in prob.nets.iter().enumerate() {
+        let mut bb: Option<(i64, i64, i64, i64)> = net.fixed;
+        for &(cell, slot) in &net.movable {
+            let g = prob.pin_geo[cell][assign[cell]][slot];
+            bb = Some(match bb {
+                None => (g.x, g.y, g.x, g.y),
+                Some((x0, y0, x1, y1)) => {
+                    (x0.min(g.x), y0.min(g.y), x1.max(g.x), y1.max(g.y))
+                }
+            });
+        }
+        let (x0, y0, x1, y1) = bb.unwrap_or((0, 0, 0, 0));
+        let (xmin, xmax, ymin, ymax, w) = vars.net_bounds[n];
+        x[xmin.index()] = x0 as f64;
+        x[xmax.index()] = x1 as f64;
+        x[ymin.index()] = y0 as f64;
+        x[ymax.index()] = y1 as f64;
+        x[w.index()] = (x1 - x0 + y1 - y0) as f64;
+    }
+    for (pi, pair) in prob.pairs.iter().enumerate() {
+        let ga = prob.end_geo(&pair.a, assign);
+        let gb = prob.end_geo(&pair.b, assign);
+        let within_y = (ga.y - gb.y).abs() <= prob.gamma_span;
+        if prob.exact {
+            x[vars.d[pi].index()] = f64::from(within_y && ga.x == gb.x);
+        } else {
+            let (a_var, b_var, o_var, v_var) =
+                vars.overlap[pi].expect("overlap vars exist for OpenM1");
+            let a = ga.x_lo.max(gb.x_lo);
+            let b = ga.x_hi.min(gb.x_hi);
+            let ov = b - a;
+            let aligned = within_y && ov >= prob.delta;
+            x[vars.d[pi].index()] = f64::from(aligned);
+            x[v_var.index()] = f64::from(!within_y);
+            x[a_var.index()] = a as f64;
+            x[b_var.index()] = b as f64;
+            x[o_var.index()] = if aligned { (ov - prob.delta) as f64 } else { 0.0 };
+        }
+    }
+    x
+}
+
+// ---- small expression helpers -------------------------------------------
+
+type Terms = (Vec<(VarId, f64)>, f64); // Σ coeff·var + constant
+
+fn end_terms(
+    prob: &WindowProblem,
+    lambda: &[Vec<VarId>],
+    e: &End,
+    f: impl Fn(&crate::problem::PinGeo) -> i64,
+) -> (Terms, (i64, i64)) {
+    match *e {
+        End::Fixed(g) => {
+            let v = f(&g);
+            ((Vec::new(), v as f64), (v, v))
+        }
+        End::Movable { cell, slot } => {
+            let mut terms = Vec::new();
+            let mut rng = (i64::MAX, i64::MIN);
+            for (k, &lam) in lambda[cell].iter().enumerate() {
+                let v = f(&prob.pin_geo[cell][k][slot]);
+                terms.push((lam, v as f64));
+                rng.0 = rng.0.min(v);
+                rng.1 = rng.1.max(v);
+            }
+            ((terms, 0.0), rng)
+        }
+    }
+}
+
+fn x_expr(prob: &WindowProblem, lambda: &[Vec<VarId>], e: &End) -> (Terms, (i64, i64)) {
+    end_terms(prob, lambda, e, |g| g.x)
+}
+
+fn y_expr(prob: &WindowProblem, lambda: &[Vec<VarId>], e: &End) -> (Terms, (i64, i64)) {
+    end_terms(prob, lambda, e, |g| g.y)
+}
+
+fn x_lo_expr(prob: &WindowProblem, lambda: &[Vec<VarId>], e: &End) -> (Terms, (i64, i64)) {
+    end_terms(prob, lambda, e, |g| g.x_lo)
+}
+
+fn x_hi_expr(prob: &WindowProblem, lambda: &[Vec<VarId>], e: &End) -> (Terms, (i64, i64)) {
+    end_terms(prob, lambda, e, |g| g.x_hi)
+}
+
+fn diff_terms(a: &Terms, b: &Terms, out: &mut Vec<(VarId, f64)>, constant: &mut f64) {
+    for &(v, c) in &a.0 {
+        out.push((v, c));
+    }
+    for &(v, c) in &b.0 {
+        out.push((v, -c));
+    }
+    *constant = a.1 - b.1;
+}
+
+/// Adds `|expr_a - expr_b| ≤ bound + G(1-d)` (the indicator form of
+/// constraints (4)/(12) with tight `G`).
+fn add_indicator_abs_le(
+    m: &mut Model,
+    a: &Terms,
+    b: &Terms,
+    d: VarId,
+    bound: f64,
+    g: f64,
+) {
+    let mut terms = Vec::new();
+    let mut c = 0.0;
+    diff_terms(a, b, &mut terms, &mut c);
+    // expr ≤ bound + G(1-d)  =>  expr + G·d ≤ bound + G.
+    let mut e1 = terms.clone();
+    e1.push((d, g));
+    m.add_le(e1, bound + g - c);
+    // expr ≥ -bound - G(1-d)  =>  expr - G·d ≥ -bound - G.
+    let mut e2 = terms;
+    e2.push((d, -g));
+    m.add_ge(e2, -bound - g - c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Overrides;
+    use crate::window::Window;
+    use crate::Vm1Config;
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_place::{place, PlaceConfig, RowMap};
+    use vm1_tech::{CellArch, Library};
+
+    fn problem(arch: CellArch, n: usize) -> WindowProblem {
+        let lib = Library::synthetic_7nm(arch);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(n)
+            .generate(&lib, 1);
+        place(&mut d, &PlaceConfig::default(), 1);
+        let cfg = if arch == CellArch::OpenM1 {
+            Vm1Config::openm1()
+        } else {
+            Vm1Config::closedm1()
+        };
+        let rm = RowMap::build(&d);
+        let win = Window {
+            site0: 0,
+            row0: 0,
+            w_sites: d.sites_per_row.min(30),
+            h_rows: d.num_rows.min(3),
+        };
+        let movable: Vec<_> = WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new())
+            .into_iter()
+            .take(5)
+            .collect();
+        WindowProblem::build(&d, &rm, win, &movable, 2, 1, false, &cfg, &Overrides::new())
+    }
+
+    #[test]
+    fn warm_start_is_feasible() {
+        for arch in [CellArch::ClosedM1, CellArch::OpenM1] {
+            let prob = problem(arch, 200);
+            if prob.cells.is_empty() {
+                continue;
+            }
+            let (model, vars) = build_milp(&prob);
+            let ws = warm_start(&prob, &model, &vars, &prob.current_assign());
+            assert!(
+                model.is_feasible(&ws, 1e-6),
+                "warm start must satisfy the {arch} formulation"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_objective_matches_problem_eval() {
+        for arch in [CellArch::ClosedM1, CellArch::OpenM1] {
+            let prob = problem(arch, 200);
+            if prob.cells.is_empty() {
+                continue;
+            }
+            let (model, vars) = build_milp(&prob);
+            let cur = prob.current_assign();
+            let ws = warm_start(&prob, &model, &vars, &cur);
+            let milp_obj = model.objective_value(&ws);
+            let prob_obj = prob.eval(&cur);
+            assert!(
+                (milp_obj - prob_obj).abs() < 1e-6,
+                "{arch}: MILP {milp_obj} vs problem {prob_obj}"
+            );
+        }
+    }
+
+    #[test]
+    fn extract_assignment_round_trips() {
+        let prob = problem(CellArch::ClosedM1, 200);
+        let (model, vars) = build_milp(&prob);
+        let cur = prob.current_assign();
+        let ws = warm_start(&prob, &model, &vars, &cur);
+        assert_eq!(extract_assignment(&vars, &ws), cur);
+    }
+}

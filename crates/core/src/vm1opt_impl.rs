@@ -1,0 +1,274 @@
+//! Algorithm 1 — `VM1Opt`: the metaheuristic outer loop.
+//!
+//! For each parameter set `u` in the queue `U`, the loop alternates a
+//! *perturbation* `DistOpt` (positions within `±lx/±ly`, no flips) with a
+//! *flip* `DistOpt` (orientations only) — the paper found this serial
+//! schedule as good as, and faster than, optimizing both degrees of
+//! freedom simultaneously — then shifts the window grid by half a window
+//! so the next iteration can optimize the previous boundary regions. The
+//! inner loop stops when the normalized objective improvement drops below
+//! θ (1 %).
+
+use crate::distopt::{dist_opt_cached, DistOptParams, SolveCache};
+use crate::objective::calculate_obj;
+use crate::Vm1Config;
+use std::time::Instant;
+use vm1_netlist::Design;
+
+/// Statistics of one [`vm1opt`] run.
+#[derive(Clone, Debug, Default)]
+pub struct OptStats {
+    /// Objective before optimization.
+    pub initial_obj: f64,
+    /// Objective after optimization.
+    pub final_obj: f64,
+    /// HPWL before (nm).
+    pub initial_hpwl: i64,
+    /// HPWL after (nm).
+    pub final_hpwl: i64,
+    /// Σ d_pq before.
+    pub initial_alignments: usize,
+    /// Σ d_pq after.
+    pub final_alignments: usize,
+    /// Inner iterations executed over all parameter sets.
+    pub iterations: usize,
+    /// Total cells moved or flipped.
+    pub cells_changed: usize,
+    /// Window batches skipped by the smart selection cache.
+    pub batches_skipped: usize,
+    /// Wall-clock runtime in milliseconds.
+    pub runtime_ms: u64,
+}
+
+/// Runs the full vertical-M1 detailed-placement optimization (Algorithm 1)
+/// on `design` with the queue `cfg.sequence`.
+///
+/// The placement is modified in place and stays legal; returns run
+/// statistics.
+pub fn vm1opt(design: &mut Design, cfg: &Vm1Config) -> OptStats {
+    let start = Instant::now();
+    let tech = design.library().tech();
+    let site = tech.site_width.nm() as f64;
+    let row = tech.row_height.nm() as f64;
+
+    let cache = SolveCache::new();
+    let cache_ref = cfg.smart_window_selection.then_some(&cache);
+    let initial = calculate_obj(design, cfg);
+    let mut obj = initial.value;
+    let mut stats = OptStats {
+        initial_obj: initial.value,
+        initial_hpwl: initial.hpwl.nm(),
+        initial_alignments: initial.alignments,
+        ..OptStats::default()
+    };
+
+    for u in &cfg.sequence {
+        let bw_sites = ((u.bw_um * 1000.0 / site).round() as i64).max(4);
+        let bh_rows = ((u.bh_um * 1000.0 / row).round() as i64).max(1);
+        let mut tx = 0i64;
+        let mut ty = 0i64;
+        let mut d_obj = f64::INFINITY;
+        let mut inner = 0usize;
+        while d_obj >= cfg.theta && inner < cfg.max_inner_iters {
+            let pre_obj = obj;
+            // Perturbation pass (f = 0).
+            let s1 = dist_opt_cached(
+                design,
+                &DistOptParams {
+                    tx,
+                    ty,
+                    bw_sites,
+                    bh_rows,
+                    lx: u.lx,
+                    ly: u.ly,
+                    flip: false,
+                },
+                cfg,
+                cache_ref,
+            );
+            // Flip pass (f = 1, no displacement).
+            let s2 = dist_opt_cached(
+                design,
+                &DistOptParams {
+                    tx,
+                    ty,
+                    bw_sites,
+                    bh_rows,
+                    lx: 0,
+                    ly: 0,
+                    flip: true,
+                },
+                cfg,
+                cache_ref,
+            );
+            stats.cells_changed += s1.cells_changed + s2.cells_changed;
+            stats.batches_skipped += s1.batches_skipped + s2.batches_skipped;
+            // Window shift: expose the previous boundary regions.
+            tx = (tx + bw_sites / 2).rem_euclid(bw_sites);
+            ty = (ty + (bh_rows / 2).max(1)).rem_euclid(bh_rows.max(1));
+
+            obj = calculate_obj(design, cfg).value;
+            let denom = pre_obj.abs().max(1.0);
+            d_obj = (pre_obj - obj) / denom;
+            inner += 1;
+            stats.iterations += 1;
+        }
+    }
+
+    let fin = calculate_obj(design, cfg);
+    stats.final_obj = fin.value;
+    stats.final_hpwl = fin.hpwl.nm();
+    stats.final_alignments = fin.alignments;
+    stats.runtime_ms = start.elapsed().as_millis() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParamSet, SolverKind};
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_place::{place, PlaceConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn setup(arch: CellArch, n: usize, seed: u64) -> Design {
+        let lib = Library::synthetic_7nm(arch);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(n)
+            .generate(&lib, seed);
+        place(&mut d, &PlaceConfig::default(), seed);
+        d
+    }
+
+    use vm1_netlist::Design;
+
+    #[test]
+    fn vm1opt_closedm1_increases_alignments() {
+        let mut d = setup(CellArch::ClosedM1, 250, 1);
+        let cfg = crate::Vm1Config::closedm1()
+            .with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let stats = vm1opt(&mut d, &cfg);
+        d.validate_placement().expect("legal after VM1Opt");
+        assert!(stats.final_obj <= stats.initial_obj + 1e-6);
+        assert!(
+            stats.final_alignments > stats.initial_alignments,
+            "alignments {} -> {}",
+            stats.initial_alignments,
+            stats.final_alignments
+        );
+        assert!(stats.iterations >= 1);
+    }
+
+    #[test]
+    fn vm1opt_openm1_works() {
+        let mut d = setup(CellArch::OpenM1, 250, 2);
+        let cfg = crate::Vm1Config::openm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let stats = vm1opt(&mut d, &cfg);
+        d.validate_placement().unwrap();
+        assert!(stats.final_alignments >= stats.initial_alignments);
+    }
+
+    #[test]
+    fn zero_alpha_reduces_to_wirelength_optimizer() {
+        let mut d = setup(CellArch::ClosedM1, 200, 3);
+        let cfg = crate::Vm1Config::closedm1()
+            .with_alpha(0.0)
+            .with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let stats = vm1opt(&mut d, &cfg);
+        assert!(stats.final_hpwl <= stats.initial_hpwl);
+    }
+
+    #[test]
+    fn multi_set_sequence_runs_all_sets() {
+        let mut d = setup(CellArch::ClosedM1, 150, 4);
+        let cfg = crate::Vm1Config::closedm1().with_sequence(vec![
+            ParamSet::new(2.0, 2, 1),
+            ParamSet::new(4.0, 2, 0),
+        ]);
+        let stats = vm1opt(&mut d, &cfg);
+        d.validate_placement().unwrap();
+        assert!(stats.iterations >= 2, "at least one iteration per set");
+    }
+
+    #[test]
+    fn greedy_solver_variant_is_legal_but_weaker_or_equal() {
+        let mut d_exact = setup(CellArch::ClosedM1, 200, 5);
+        let mut d_greedy = d_exact.clone();
+        let cfg_e = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let cfg_g = cfg_e.clone().with_solver(SolverKind::Greedy);
+        let se = vm1opt(&mut d_exact, &cfg_e);
+        let sg = vm1opt(&mut d_greedy, &cfg_g);
+        d_greedy.validate_placement().unwrap();
+        assert!(se.final_obj <= sg.final_obj + 1e-6, "exact ≤ greedy");
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use crate::ParamSet;
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_netlist::Design;
+    use vm1_place::{place, PlaceConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn setup(seed: u64) -> Design {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(220)
+            .generate(&lib, seed);
+        place(&mut d, &PlaceConfig::default(), seed);
+        d
+    }
+
+    #[test]
+    fn smart_selection_preserves_results_exactly() {
+        // The cache only skips deterministic re-solves of identical
+        // states, so the final placement must be bit-identical.
+        let mut with = setup(11);
+        let mut without = with.clone();
+        let seq = vec![ParamSet::new(3.0, 3, 1)];
+        let mut cfg_on = crate::Vm1Config::closedm1().with_sequence(seq.clone());
+        cfg_on.smart_window_selection = true;
+        // Force a fixed number of iterations so both runs share the exact
+        // schedule and windows repeat (making the cache observable).
+        cfg_on.theta = -1.0;
+        cfg_on.max_inner_iters = 5;
+        let mut cfg_off = cfg_on.clone().with_sequence(seq);
+        cfg_off.smart_window_selection = false;
+        let s_on = vm1opt(&mut with, &cfg_on);
+        let s_off = vm1opt(&mut without, &cfg_off);
+        for ((_, a), (_, b)) in with.insts().zip(without.insts()) {
+            assert_eq!((a.site, a.row, a.orient), (b.site, b.row, b.orient));
+        }
+        assert_eq!(s_on.final_obj, s_off.final_obj);
+        assert_eq!(s_off.batches_skipped, 0, "cache off skips nothing");
+    }
+
+    #[test]
+    fn cache_fires_once_windows_stabilize() {
+        use crate::distopt::{dist_opt_cached, DistOptParams, SolveCache};
+        let mut d = setup(11);
+        let cfg = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let cache = SolveCache::new();
+        let p = DistOptParams {
+            tx: 0,
+            ty: 0,
+            bw_sites: 62,
+            bh_rows: 8,
+            lx: 3,
+            ly: 1,
+            flip: false,
+        };
+        let mut total_skipped = 0;
+        for _ in 0..5 {
+            total_skipped += dist_opt_cached(&mut d, &p, &cfg, Some(&cache)).batches_skipped;
+        }
+        assert!(!cache.is_empty(), "no-gain states get recorded");
+        assert!(
+            total_skipped > 0,
+            "re-solving an identical window grid must hit the cache"
+        );
+        d.validate_placement().unwrap();
+    }
+}

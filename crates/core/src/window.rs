@@ -1,0 +1,211 @@
+//! Layout partitioning into optimization windows and selection of
+//! diagonally independent window sets (paper §4.1, Figures 3–4).
+//!
+//! Windows in one *diagonal set* have pairwise disjoint projections onto
+//! both axes, so their window-local ΔHPWL values add up to the true total
+//! ΔHPWL (Figure 4b) and they can be optimized in parallel without
+//! interfering.
+
+use vm1_netlist::Design;
+
+/// A rectangular optimization window in site/row coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// First site column of the window.
+    pub site0: i64,
+    /// First row of the window.
+    pub row0: i64,
+    /// Width in sites.
+    pub w_sites: i64,
+    /// Height in rows.
+    pub h_rows: i64,
+}
+
+impl Window {
+    /// Exclusive end column.
+    #[must_use]
+    pub fn site_end(&self) -> i64 {
+        self.site0 + self.w_sites
+    }
+
+    /// Exclusive end row.
+    #[must_use]
+    pub fn row_end(&self) -> i64 {
+        self.row0 + self.h_rows
+    }
+
+    /// Whether the span `[site, site+w)` in `row` lies fully inside.
+    #[must_use]
+    pub fn contains_span(&self, site: i64, w: i64, row: i64) -> bool {
+        row >= self.row0
+            && row < self.row_end()
+            && site >= self.site0
+            && site + w <= self.site_end()
+    }
+}
+
+/// The window grid of one `Partition()` call.
+#[derive(Clone, Debug)]
+pub struct WindowGrid {
+    /// All windows, row-major (`j * nc + i`).
+    pub windows: Vec<Window>,
+    /// Number of window columns.
+    pub nc: usize,
+    /// Number of window rows.
+    pub nr: usize,
+}
+
+impl WindowGrid {
+    /// Partitions the design core into windows of `bw_sites` × `bh_rows`
+    /// with the grid shifted by `(tx, ty)` (the paper's window-shift
+    /// mechanism that lets later iterations optimize the previous
+    /// boundary regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window dimension is not positive.
+    #[must_use]
+    pub fn partition(design: &Design, tx: i64, ty: i64, bw_sites: i64, bh_rows: i64) -> WindowGrid {
+        assert!(bw_sites > 0 && bh_rows > 0, "window must be positive");
+        let tx = tx.rem_euclid(bw_sites);
+        let ty = ty.rem_euclid(bh_rows);
+        let sites = design.sites_per_row;
+        let rows = design.num_rows;
+        // First window starts at -tx / -ty; clip windows to the core.
+        let nc = ((sites + tx + bw_sites - 1) / bw_sites) as usize;
+        let nr = ((rows + ty + bh_rows - 1) / bh_rows) as usize;
+        let mut windows = Vec::with_capacity(nc * nr);
+        for j in 0..nr as i64 {
+            for i in 0..nc as i64 {
+                let s0 = (i * bw_sites - tx).max(0);
+                let s1 = ((i + 1) * bw_sites - tx).min(sites);
+                let r0 = (j * bh_rows - ty).max(0);
+                let r1 = ((j + 1) * bh_rows - ty).min(rows);
+                windows.push(Window {
+                    site0: s0,
+                    row0: r0,
+                    w_sites: (s1 - s0).max(0),
+                    h_rows: (r1 - r0).max(0),
+                });
+            }
+        }
+        WindowGrid { windows, nc, nr }
+    }
+
+    /// Groups window indices into diagonal sets: within a set no two
+    /// windows share a window-grid row or column, hence their projections
+    /// onto both axes are disjoint (Figure 3). Every window appears in
+    /// exactly one set; there are `max(nc, nr)` sets, matching the paper's
+    /// `√|W|` parallel rounds for a square grid.
+    #[must_use]
+    pub fn diagonal_sets(&self) -> Vec<Vec<usize>> {
+        let nc = self.nc;
+        let nr = self.nr;
+        let k = nc.max(nr);
+        let mut sets = vec![Vec::new(); k];
+        for j in 0..nr {
+            for i in 0..nc {
+                // Shift s pairs (j, i) with i ≡ j + s (mod k); because
+                // k ≥ nc and k ≥ nr, each set has at most one window per
+                // grid row and per grid column.
+                let s = (i + k - j % k) % k;
+                if self.windows[j * nc + i].w_sites > 0 && self.windows[j * nc + i].h_rows > 0 {
+                    sets[s].push(j * nc + i);
+                }
+            }
+        }
+        sets.retain(|s| !s.is_empty());
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm1_tech::{CellArch, Library};
+
+    fn design(rows: i64, sites: i64) -> Design {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        Design::new("t", lib, rows, sites)
+    }
+
+    #[test]
+    fn partition_covers_core_exactly() {
+        let d = design(10, 95);
+        for (tx, ty) in [(0, 0), (3, 1), (7, 2)] {
+            let g = WindowGrid::partition(&d, tx, ty, 10, 3);
+            let area: i64 = g.windows.iter().map(|w| w.w_sites * w.h_rows).sum();
+            assert_eq!(area, 10 * 95, "tx={tx} ty={ty}");
+            // No overlaps: windows tile by construction; check pairwise
+            // disjointness on a sample.
+            for (a_idx, a) in g.windows.iter().enumerate() {
+                for b in &g.windows[a_idx + 1..] {
+                    let x_overlap = a.site0 < b.site_end() && b.site0 < a.site_end();
+                    let y_overlap = a.row0 < b.row_end() && b.row0 < a.row_end();
+                    assert!(!(x_overlap && y_overlap && a.w_sites > 0 && b.w_sites > 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_partition_moves_boundaries() {
+        let d = design(10, 100);
+        let g0 = WindowGrid::partition(&d, 0, 0, 10, 5);
+        let g1 = WindowGrid::partition(&d, 5, 2, 10, 5);
+        assert_ne!(g0.windows[0], g1.windows[0]);
+        assert_eq!(g1.windows[0].w_sites, 5, "first window clipped by shift");
+    }
+
+    #[test]
+    fn diagonal_sets_are_disjoint_projections() {
+        let d = design(12, 100);
+        let g = WindowGrid::partition(&d, 0, 0, 10, 3);
+        let sets = g.diagonal_sets();
+        // Every non-empty window appears exactly once.
+        let mut seen = vec![false; g.windows.len()];
+        for set in &sets {
+            for &w in set {
+                assert!(!seen[w], "window {w} in two sets");
+                seen[w] = true;
+            }
+            // Disjoint x and y projections inside a set.
+            for (k, &a_idx) in set.iter().enumerate() {
+                for &b_idx in &set[k + 1..] {
+                    let a = g.windows[a_idx];
+                    let b = g.windows[b_idx];
+                    let x_overlap = a.site0 < b.site_end() && b.site0 < a.site_end();
+                    let y_overlap = a.row0 < b.row_end() && b.row0 < a.row_end();
+                    assert!(!x_overlap, "x projections must be disjoint");
+                    assert!(!y_overlap, "y projections must be disjoint");
+                }
+            }
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        let nonempty = g.windows.iter().filter(|w| w.w_sites > 0 && w.h_rows > 0).count();
+        assert_eq!(covered, nonempty);
+    }
+
+    #[test]
+    fn set_count_near_sqrt_w() {
+        let d = design(30, 300);
+        let g = WindowGrid::partition(&d, 0, 0, 30, 3); // 10 x 10 windows
+        let sets = g.diagonal_sets();
+        assert_eq!(sets.len(), 10, "√100 parallel rounds");
+    }
+
+    #[test]
+    fn contains_span() {
+        let w = Window {
+            site0: 10,
+            row0: 2,
+            w_sites: 20,
+            h_rows: 3,
+        };
+        assert!(w.contains_span(10, 5, 2));
+        assert!(w.contains_span(25, 5, 4));
+        assert!(!w.contains_span(26, 5, 4), "crosses right edge");
+        assert!(!w.contains_span(9, 5, 3), "crosses left edge");
+        assert!(!w.contains_span(15, 5, 5), "outside rows");
+    }
+}

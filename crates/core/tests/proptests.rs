@@ -1,0 +1,128 @@
+//! Property-based tests of the optimizer's core invariants:
+//!
+//! * window solvers always return legal assignments that are no worse
+//!   than the input (regardless of engine);
+//! * the window-local objective delta equals the global objective delta
+//!   for any in-window move (the Figure 4(b) decomposition property that
+//!   justifies parallel diagonal windows);
+//! * the exact solvers dominate the greedy one.
+
+use proptest::prelude::*;
+use vm1_core::problem::{Overrides, WindowProblem};
+use vm1_core::solver::{dfs_solve, greedy_solve, solve_window};
+use vm1_core::window::Window;
+use vm1_core::{calculate_obj, SolverKind, Vm1Config};
+use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+use vm1_netlist::Design;
+use vm1_place::{place, PlaceConfig, RowMap};
+use vm1_tech::{CellArch, Library};
+
+fn build(arch: CellArch, n: usize, seed: u64) -> (Design, Vm1Config) {
+    let lib = Library::synthetic_7nm(arch);
+    let mut d = GeneratorConfig::profile(DesignProfile::M0)
+        .with_insts(n)
+        .generate(&lib, seed);
+    place(&mut d, &PlaceConfig::default(), seed);
+    let cfg = if arch == CellArch::OpenM1 {
+        Vm1Config::openm1()
+    } else {
+        Vm1Config::closedm1()
+    };
+    (d, cfg)
+}
+
+fn window_of(d: &Design, frac: f64) -> Window {
+    Window {
+        site0: 0,
+        row0: 0,
+        w_sites: ((d.sites_per_row as f64 * frac) as i64).clamp(10, d.sites_per_row),
+        h_rows: ((d.num_rows as f64 * frac) as i64).clamp(2, d.num_rows),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn solvers_are_legal_and_never_worse(
+        arch_i in 0u8..2,
+        n in 100usize..250,
+        seed in 0u64..500,
+        lx in 1i64..4,
+        ly in 0i64..2,
+        take in 3usize..8,
+    ) {
+        let arch = [CellArch::ClosedM1, CellArch::OpenM1][arch_i as usize];
+        let (d, cfg) = build(arch, n, seed);
+        let rm = RowMap::build(&d);
+        let win = window_of(&d, 0.4);
+        let movable: Vec<_> =
+            WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new())
+                .into_iter()
+                .take(take)
+                .collect();
+        prop_assume!(!movable.is_empty());
+        let prob = WindowProblem::build(&d, &rm, win, &movable, lx, ly, false, &cfg, &Overrides::new());
+        let cur_obj = prob.eval(&prob.current_assign());
+        for kind in [SolverKind::Dfs, SolverKind::Greedy] {
+            let c = cfg.clone().with_solver(kind);
+            let assign = solve_window(&prob, &c);
+            prop_assert!(prob.is_legal(&assign), "{kind:?} legal");
+            prop_assert!(prob.eval(&assign) <= cur_obj + 1e-9, "{kind:?} no worse");
+        }
+    }
+
+    #[test]
+    fn window_delta_equals_global_delta(
+        n in 100usize..250,
+        seed in 0u64..500,
+        pick in 0usize..64,
+    ) {
+        let (mut d, cfg) = build(CellArch::ClosedM1, n, seed);
+        let rm = RowMap::build(&d);
+        let win = window_of(&d, 0.5);
+        let movable = WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new());
+        prop_assume!(!movable.is_empty());
+        let prob = WindowProblem::build(&d, &rm, win, &movable, 3, 1, true, &cfg, &Overrides::new());
+        let cur = prob.current_assign();
+
+        // Pick a random legal single-cell move.
+        let cell = pick % prob.cells.len();
+        prop_assume!(prob.cells[cell].cands.len() > 1);
+        let mut alt = cur.clone();
+        alt[cell] = (cur[cell] + 1 + pick / prob.cells.len()) % prob.cells[cell].cands.len();
+        prop_assume!(prob.is_legal(&alt));
+
+        let local_delta = prob.eval(&alt) - prob.eval(&cur);
+        let g0 = calculate_obj(&d, &cfg).value;
+        let cand = prob.cells[cell].cands[alt[cell]];
+        d.move_inst(prob.cells[cell].inst, cand.site, cand.row, cand.orient);
+        let g1 = calculate_obj(&d, &cfg).value;
+        prop_assert!(
+            ((g1 - g0) - local_delta).abs() < 1e-6,
+            "global {} vs local {}",
+            g1 - g0,
+            local_delta
+        );
+    }
+
+    #[test]
+    fn dfs_dominates_greedy(
+        n in 100usize..220,
+        seed in 0u64..500,
+    ) {
+        let (d, cfg) = build(CellArch::ClosedM1, n, seed);
+        let rm = RowMap::build(&d);
+        let win = window_of(&d, 0.35);
+        let movable: Vec<_> =
+            WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new())
+                .into_iter()
+                .take(5)
+                .collect();
+        prop_assume!(!movable.is_empty());
+        let prob = WindowProblem::build(&d, &rm, win, &movable, 3, 1, false, &cfg, &Overrides::new());
+        let dfs = dfs_solve(&prob, 500_000);
+        let greedy = greedy_solve(&prob, 4);
+        prop_assert!(prob.eval(&dfs) <= prob.eval(&greedy) + 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! `vm1dp` — command-line front end to the vertical-M1 detailed placement
+//! flow, operating on VM1DEF files.
+//!
+//! ```text
+//! vm1dp gen    --profile aes --arch closedm1 --scale 0.03 --seed 42 -o design.def
+//! vm1dp opt    -i design.def --arch closedm1 --alpha 1200 -o optimized.def
+//! vm1dp report -i optimized.def --arch closedm1
+//! ```
+
+use std::process::exit;
+use vm1_core::{vm1opt, Vm1Config};
+use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+use vm1_netlist::io::{read_def, write_def};
+use vm1_netlist::Design;
+use vm1_place::{greedy_refine, place, PlaceConfig};
+use vm1_route::{route, RouterConfig};
+use vm1_tech::{CellArch, Library};
+use vm1_timing::{analyze, min_clock_period, power};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage("missing subcommand") };
+    let opts = Opts::parse(&args[1..]);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "opt" => cmd_opt(&opts),
+        "report" => cmd_report(&opts),
+        "--help" | "-h" => usage(""),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+struct Opts {
+    profile: DesignProfile,
+    arch: CellArch,
+    scale: f64,
+    seed: u64,
+    alpha: f64,
+    input: Option<String>,
+    output: Option<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut o = Opts {
+            profile: DesignProfile::Aes,
+            arch: CellArch::ClosedM1,
+            scale: 0.03,
+            seed: 42,
+            alpha: f64::NAN,
+            input: None,
+            output: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut val = |name: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                    .clone()
+            };
+            match a.as_str() {
+                "--profile" => {
+                    o.profile = match val("--profile").as_str() {
+                        "m0" => DesignProfile::M0,
+                        "aes" => DesignProfile::Aes,
+                        "jpeg" => DesignProfile::Jpeg,
+                        "vga" => DesignProfile::Vga,
+                        other => usage(&format!("unknown profile {other}")),
+                    }
+                }
+                "--arch" => {
+                    o.arch = match val("--arch").as_str() {
+                        "closedm1" => CellArch::ClosedM1,
+                        "openm1" => CellArch::OpenM1,
+                        "conv12t" => CellArch::Conv12T,
+                        other => usage(&format!("unknown arch {other}")),
+                    }
+                }
+                "--scale" => o.scale = val("--scale").parse().unwrap_or_else(|_| usage("bad --scale")),
+                "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
+                "--alpha" => o.alpha = val("--alpha").parse().unwrap_or_else(|_| usage("bad --alpha")),
+                "-i" | "--input" => o.input = Some(val("-i")),
+                "-o" | "--output" => o.output = Some(val("-o")),
+                other => usage(&format!("unknown option {other}")),
+            }
+        }
+        o
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: vm1dp <gen|opt|report> [--profile m0|aes|jpeg|vga] [--arch closedm1|openm1|conv12t]\n\
+         \x20            [--scale F] [--seed N] [--alpha F] [-i FILE] [-o FILE]"
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn library(arch: CellArch) -> Library {
+    Library::synthetic_7nm(arch)
+}
+
+fn load(opts: &Opts) -> Design {
+    let path = opts.input.as_deref().unwrap_or_else(|| usage("-i required"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        exit(1);
+    });
+    read_def(&text, &library(opts.arch)).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn save(design: &Design, opts: &Opts) {
+    let path = opts.output.as_deref().unwrap_or_else(|| usage("-o required"));
+    std::fs::write(path, write_def(design)).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        exit(1);
+    });
+    println!("wrote {path}");
+}
+
+fn cmd_gen(opts: &Opts) {
+    let lib = library(opts.arch);
+    let mut design = GeneratorConfig::profile(opts.profile)
+        .with_scale(opts.scale)
+        .generate(&lib, opts.seed);
+    place(&mut design, &PlaceConfig::default(), opts.seed);
+    greedy_refine(&mut design, 3, 2);
+    design.validate_placement().expect("legal placement");
+    println!(
+        "generated {}: {} instances, {} nets, {} rows x {} sites",
+        design.name(),
+        design.num_insts(),
+        design.num_nets(),
+        design.num_rows,
+        design.sites_per_row
+    );
+    save(&design, opts);
+}
+
+fn cmd_opt(opts: &Opts) {
+    let mut design = load(opts);
+    let mut cfg = match opts.arch {
+        CellArch::OpenM1 => Vm1Config::openm1(),
+        _ => Vm1Config::closedm1(),
+    };
+    if !opts.alpha.is_nan() {
+        cfg = cfg.with_alpha(opts.alpha);
+    }
+    let stats = vm1opt(&mut design, &cfg);
+    println!(
+        "objective {:.0} -> {:.0}; alignments {} -> {}; HPWL {} -> {} nm; {} cells changed in {} ms",
+        stats.initial_obj,
+        stats.final_obj,
+        stats.initial_alignments,
+        stats.final_alignments,
+        stats.initial_hpwl,
+        stats.final_hpwl,
+        stats.cells_changed,
+        stats.runtime_ms
+    );
+    save(&design, opts);
+}
+
+fn cmd_report(opts: &Opts) {
+    let design = load(opts);
+    let r = route(&design, &RouterConfig::default());
+    let clock = min_clock_period(&design, Some(&r)).expect("acyclic") * 1.02;
+    let t = analyze(&design, Some(&r), clock).expect("acyclic");
+    let p = power(&design, Some(&r), clock);
+    println!("design    : {} ({} insts, {} nets)", design.name(), design.num_insts(), design.num_nets());
+    println!("HPWL      : {:.1} um", design.total_hpwl().to_um());
+    println!("routed WL : {:.1} um", r.metrics.routed_wl.to_um());
+    println!("M1 WL     : {:.1} um", r.metrics.m1_wl().to_um());
+    println!("#dM1      : {}", r.metrics.num_dm1);
+    println!("#via12    : {}", r.metrics.via12());
+    println!("#DRV      : {}", r.metrics.drvs);
+    println!("clock     : {:.1} ps (calibrated)", clock);
+    println!("WNS       : {:.3} ns", t.wns_ns_paper());
+    println!("power     : {:.3} mW", p.total_mw());
+}

@@ -1,0 +1,173 @@
+use crate::Dbu;
+use std::fmt;
+
+/// A 1-D closed-open interval `[lo, hi)` in database units.
+///
+/// Intervals are the workhorse of the OpenM1 overlap computations: two
+/// horizontal pin shapes can be connected by a direct vertical M1 segment
+/// exactly when the projections of their shapes onto the x-axis overlap
+/// (paper §1.1). [`Interval::overlap`] computes that projection
+/// intersection.
+///
+/// # Examples
+///
+/// ```
+/// use vm1_geom::{Dbu, Interval};
+///
+/// let pin_a = Interval::new(Dbu(0), Dbu(96));
+/// let pin_b = Interval::new(Dbu(48), Dbu(144));
+/// let ov = pin_a.overlap(pin_b).unwrap();
+/// assert_eq!(ov, Interval::new(Dbu(48), Dbu(96)));
+/// assert_eq!(ov.len(), Dbu(48));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: Dbu,
+    hi: Dbu,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`. Empty intervals (`lo == hi`) are allowed.
+    #[must_use]
+    pub fn new(lo: Dbu, hi: Dbu) -> Interval {
+        assert!(lo <= hi, "Interval::new: lo {lo} > hi {hi}");
+        Interval { lo, hi }
+    }
+
+    /// Lower (inclusive) bound.
+    #[must_use]
+    pub fn lo(self) -> Dbu {
+        self.lo
+    }
+
+    /// Upper (exclusive) bound.
+    #[must_use]
+    pub fn hi(self) -> Dbu {
+        self.hi
+    }
+
+    /// Length of the interval.
+    #[must_use]
+    pub fn len(self) -> Dbu {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval has zero length.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `x` lies inside `[lo, hi)`.
+    #[must_use]
+    pub fn contains(self, x: Dbu) -> bool {
+        self.lo <= x && x < self.hi
+    }
+
+    /// The intersection with `other`, or `None` if they do not overlap
+    /// with positive length.
+    #[must_use]
+    pub fn overlap(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo < hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Length of the overlap with `other` (zero when disjoint). This is
+    /// the quantity `o_pq = b - a` of the paper's OpenM1 constraint (11),
+    /// clamped at zero.
+    #[must_use]
+    pub fn overlap_len(self, other: Interval) -> Dbu {
+        self.overlap(other).map_or(Dbu::ZERO, Interval::len)
+    }
+
+    /// Smallest interval containing both `self` and `other`.
+    #[must_use]
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The interval translated by `delta`.
+    #[must_use]
+    pub fn shifted(self, delta: Dbu) -> Interval {
+        Interval {
+            lo: self.lo + delta,
+            hi: self.hi + delta,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::new(Dbu(lo), Dbu(hi))
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let i = iv(2, 10);
+        assert_eq!(i.lo(), Dbu(2));
+        assert_eq!(i.hi(), Dbu(10));
+        assert_eq!(i.len(), Dbu(8));
+        assert!(!i.is_empty());
+        assert!(iv(3, 3).is_empty());
+    }
+
+    #[test]
+    fn contains_is_closed_open() {
+        let i = iv(0, 10);
+        assert!(i.contains(Dbu(0)));
+        assert!(i.contains(Dbu(9)));
+        assert!(!i.contains(Dbu(10)));
+        assert!(!i.contains(Dbu(-1)));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        assert_eq!(iv(0, 10).overlap(iv(5, 15)), Some(iv(5, 10)));
+        assert_eq!(iv(0, 10).overlap(iv(10, 20)), None, "touching is not overlapping");
+        assert_eq!(iv(0, 10).overlap(iv(20, 30)), None);
+        assert_eq!(iv(0, 10).overlap(iv(2, 8)), Some(iv(2, 8)), "containment");
+        assert_eq!(iv(0, 10).overlap_len(iv(5, 15)), Dbu(5));
+        assert_eq!(iv(0, 10).overlap_len(iv(12, 15)), Dbu(0));
+    }
+
+    #[test]
+    fn hull_and_shift() {
+        assert_eq!(iv(0, 5).hull(iv(8, 12)), iv(0, 12));
+        assert_eq!(iv(0, 5).shifted(Dbu(10)), iv(10, 15));
+        assert_eq!(iv(0, 5).shifted(Dbu(-3)), iv(-3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn inverted_interval_panics() {
+        let _ = iv(5, 0);
+    }
+
+    #[test]
+    fn overlap_is_commutative() {
+        let a = iv(0, 10);
+        let b = iv(4, 30);
+        assert_eq!(a.overlap(b), b.overlap(a));
+    }
+}

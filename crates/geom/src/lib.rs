@@ -1,0 +1,40 @@
+//! Geometry primitives for the vm1dp EDA workspace.
+//!
+//! All layout coordinates are integer database units ([`Dbu`], 1 DBU = 1 nm).
+//! The crate provides the handful of geometric types every other crate in the
+//! workspace builds on:
+//!
+//! * [`Dbu`] — newtype over `i64` nanometers,
+//! * [`Point`] / [`Rect`] — axis-aligned geometry,
+//! * [`Interval`] — 1-D closed-open interval with overlap arithmetic (the
+//!   basis of the OpenM1 pin-overlap computations),
+//! * [`Orient`] — standard-cell placement orientation (N / flipped),
+//! * [`rng::SplitMix64`] — tiny deterministic PRNG used by all generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use vm1_geom::{Dbu, Interval, Point, Rect};
+//!
+//! let a = Interval::new(Dbu(0), Dbu(100));
+//! let b = Interval::new(Dbu(60), Dbu(150));
+//! assert_eq!(a.overlap(b).unwrap().len(), Dbu(40));
+//!
+//! let r = Rect::new(Point::new(Dbu(0), Dbu(0)), Point::new(Dbu(48), Dbu(360)));
+//! assert_eq!(r.width(), Dbu(48));
+//! ```
+
+#![warn(missing_docs)]
+
+mod coord;
+mod interval;
+mod orient;
+mod point;
+mod rect;
+pub mod rng;
+
+pub use coord::Dbu;
+pub use interval::Interval;
+pub use orient::Orient;
+pub use point::Point;
+pub use rect::Rect;

@@ -1,0 +1,96 @@
+use crate::Dbu;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An absolute location (or displacement) in the layout, in database units.
+///
+/// # Examples
+///
+/// ```
+/// use vm1_geom::{Dbu, Point};
+///
+/// let p = Point::new(Dbu(100), Dbu(360));
+/// let q = p + Point::new(Dbu(48), Dbu(0));
+/// assert_eq!(q.x, Dbu(148));
+/// assert_eq!(p.manhattan_distance(q), Dbu(48));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Dbu,
+    /// Vertical coordinate.
+    pub y: Dbu,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub fn new(x: Dbu, y: Dbu) -> Point {
+        Point { x, y }
+    }
+
+    /// The origin (0, 0).
+    pub const ORIGIN: Point = Point {
+        x: Dbu(0),
+        y: Dbu(0),
+    };
+
+    /// Manhattan (L1) distance to `other` — the metric of routed wirelength.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Point) -> Dbu {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub() {
+        let p = Point::new(Dbu(1), Dbu(2));
+        let q = Point::new(Dbu(10), Dbu(20));
+        assert_eq!(p + q, Point::new(Dbu(11), Dbu(22)));
+        assert_eq!(q - p, Point::new(Dbu(9), Dbu(18)));
+    }
+
+    #[test]
+    fn manhattan() {
+        let p = Point::new(Dbu(0), Dbu(0));
+        let q = Point::new(Dbu(3), Dbu(-4));
+        assert_eq!(p.manhattan_distance(q), Dbu(7));
+        assert_eq!(q.manhattan_distance(p), Dbu(7));
+        assert_eq!(p.manhattan_distance(p), Dbu(0));
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        assert_eq!(Point::ORIGIN, Point::new(Dbu(0), Dbu(0)));
+    }
+}

@@ -1,0 +1,606 @@
+//! Branch-and-bound MILP solver on top of the LP relaxation in [`crate::lp`].
+//!
+//! Branching strategy:
+//!
+//! * If the model declares SOS1 groups (the single-cell-placement candidate
+//!   sets of the detailed-placement formulations), the group whose LP values
+//!   are most fractional is split into two halves by LP weight, and each
+//!   child forbids one half. This is exponentially more effective than 0/1
+//!   branching on individual candidate variables.
+//! * Otherwise the most fractional integer variable is branched floor/ceil.
+//!
+//! A rounding heuristic at every node tries to snap the LP point to an
+//! integer-feasible solution, which provides early incumbents; callers can
+//! also supply a warm-start assignment (the current placement, which is
+//! always feasible).
+
+use crate::lp::{solve_lp, LpStatus};
+use crate::model::{Model, VarId, VarKind};
+use crate::presolve::presolve;
+use std::time::Instant;
+
+const INT_TOL: f64 = 1e-6;
+
+/// Outcome class of a MILP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Proven optimal solution found.
+    Optimal,
+    /// A feasible solution was found but optimality was not proven before a
+    /// node/time limit.
+    Feasible,
+    /// The model has no feasible solution.
+    Infeasible,
+    /// The relaxation is unbounded.
+    Unbounded,
+    /// No feasible solution found before a node/time limit.
+    Unknown,
+}
+
+/// Result of a MILP solve.
+#[derive(Clone, Debug)]
+pub struct MilpSolution {
+    /// Outcome class.
+    pub status: Status,
+    /// Objective of `values` (+∞ when no solution was found).
+    pub objective: f64,
+    /// Best assignment found (empty when none).
+    pub values: Vec<f64>,
+    /// Best proven lower bound on the optimum.
+    pub best_bound: f64,
+    /// Number of branch-and-bound nodes processed.
+    pub nodes: usize,
+}
+
+impl MilpSolution {
+    /// Whether a usable assignment is available.
+    #[must_use]
+    pub fn has_solution(&self) -> bool {
+        matches!(self.status, Status::Optimal | Status::Feasible)
+    }
+
+    /// Value of `var` in the best assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available.
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        assert!(self.has_solution(), "no MILP solution available");
+        self.values[var.index()]
+    }
+}
+
+/// Tunable limits for [`solve`].
+#[derive(Clone, Debug)]
+pub struct SolveParams {
+    /// Maximum branch-and-bound nodes before giving up with the incumbent.
+    pub max_nodes: usize,
+    /// Wall-clock limit in milliseconds.
+    pub time_limit_ms: u64,
+    /// Accept incumbents within this absolute gap of the best bound.
+    pub abs_gap: f64,
+    /// Optional warm-start assignment (full variable vector). If feasible it
+    /// seeds the incumbent.
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl Default for SolveParams {
+    fn default() -> SolveParams {
+        SolveParams {
+            max_nodes: 100_000,
+            time_limit_ms: 60_000,
+            abs_gap: 1e-6,
+            warm_start: None,
+        }
+    }
+}
+
+/// Convenience wrapper around [`Solver`].
+#[must_use]
+pub fn solve(model: &Model, params: &SolveParams) -> MilpSolution {
+    Solver::new(model, params.clone()).run()
+}
+
+struct Node {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// LP bound inherited from the parent (for pruning before solving).
+    parent_bound: f64,
+    depth: usize,
+}
+
+/// Branch-and-bound engine. Most callers should use [`solve`]; the struct
+/// form exists so long-running callers can inspect statistics.
+pub struct Solver<'a> {
+    model: &'a Model,
+    params: SolveParams,
+    int_vars: Vec<VarId>,
+    incumbent: Option<Vec<f64>>,
+    incumbent_obj: f64,
+    best_bound: f64,
+    nodes: usize,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver for `model` with the given limits.
+    pub fn new(model: &'a Model, params: SolveParams) -> Solver<'a> {
+        Solver {
+            model,
+            params,
+            int_vars: model.integer_vars(),
+            incumbent: None,
+            incumbent_obj: f64::INFINITY,
+            best_bound: f64::NEG_INFINITY,
+            nodes: 0,
+        }
+    }
+
+    /// Runs branch and bound to completion or to a limit.
+    pub fn run(mut self) -> MilpSolution {
+        let start = Instant::now();
+
+        if let Some(ws) = self.params.warm_start.take() {
+            if self.model.is_feasible(&ws, 1e-6) {
+                self.incumbent_obj = self.model.objective_value(&ws);
+                self.incumbent = Some(ws);
+            }
+        }
+
+        // Root presolve: tightened bounds + early infeasibility.
+        let pre = presolve(self.model);
+        if pre.infeasible {
+            return MilpSolution {
+                // A feasible warm start contradicts presolve-infeasible;
+                // presolve only proves infeasibility from valid bound
+                // arithmetic, so trust the incumbent if one exists.
+                status: if self.incumbent.is_some() {
+                    Status::Feasible
+                } else {
+                    Status::Infeasible
+                },
+                objective: self.incumbent_obj,
+                values: self.incumbent.unwrap_or_default(),
+                best_bound: f64::INFINITY,
+                nodes: 0,
+            };
+        }
+        let root_lb: Vec<f64> = pre.lb;
+        let root_ub: Vec<f64> = pre.ub;
+        let mut stack = vec![Node {
+            lb: root_lb,
+            ub: root_ub,
+            parent_bound: f64::NEG_INFINITY,
+            depth: 0,
+        }];
+        // Tracks the minimum LP bound over open nodes for `best_bound`.
+        let mut saw_limit = false;
+        let mut root_status: Option<Status> = None;
+
+        while let Some(node) = stack.pop() {
+            if self.nodes >= self.params.max_nodes
+                || start.elapsed().as_millis() as u64 >= self.params.time_limit_ms
+            {
+                saw_limit = true;
+                break;
+            }
+            if node.parent_bound >= self.incumbent_obj - self.params.abs_gap {
+                continue;
+            }
+            self.nodes += 1;
+
+            let lp = solve_lp(self.model, Some((&node.lb, &node.ub)));
+            match lp.status {
+                LpStatus::Infeasible => {
+                    if node.depth == 0 {
+                        root_status = Some(Status::Infeasible);
+                    }
+                    continue;
+                }
+                LpStatus::Unbounded => {
+                    if node.depth == 0 {
+                        root_status = Some(Status::Unbounded);
+                    }
+                    // Unbounded below a node with an incumbent cannot happen
+                    // for bounded-variable models; treat as prune otherwise.
+                    continue;
+                }
+                LpStatus::IterLimit => {
+                    saw_limit = true;
+                    continue;
+                }
+                LpStatus::Optimal => {}
+            }
+            if node.depth == 0 {
+                self.best_bound = lp.objective;
+            }
+            if lp.objective >= self.incumbent_obj - self.params.abs_gap {
+                continue;
+            }
+
+            // Integer feasible?
+            let frac_var = self.most_fractional(&lp.values);
+            match frac_var {
+                None => {
+                    // LP point is integral: new incumbent.
+                    if lp.objective < self.incumbent_obj {
+                        self.incumbent_obj = lp.objective;
+                        self.incumbent = Some(lp.values);
+                    }
+                    continue;
+                }
+                Some((var, _)) => {
+                    // Try rounding heuristic for an early incumbent.
+                    if self.incumbent.is_none() {
+                        self.try_rounding(&lp.values, &node.lb, &node.ub);
+                    }
+                    self.branch(node, var, &lp.values, lp.objective, &mut stack);
+                }
+            }
+        }
+
+        let status = if let Some(s) = root_status {
+            s
+        } else if let Some(_) = &self.incumbent {
+            if saw_limit || !stack.is_empty() {
+                Status::Feasible
+            } else {
+                Status::Optimal
+            }
+        } else if saw_limit || !stack.is_empty() {
+            Status::Unknown
+        } else {
+            Status::Infeasible
+        };
+
+        MilpSolution {
+            status,
+            objective: self.incumbent_obj,
+            values: self.incumbent.unwrap_or_default(),
+            best_bound: if status == Status::Optimal {
+                self.incumbent_obj
+            } else {
+                self.best_bound
+            },
+            nodes: self.nodes,
+        }
+    }
+
+    /// Most fractional integer variable at the LP point, if any.
+    fn most_fractional(&self, values: &[f64]) -> Option<(VarId, f64)> {
+        let mut best: Option<(VarId, f64)> = None;
+        for &v in &self.int_vars {
+            let x = values[v.index()];
+            let frac = (x - x.round()).abs();
+            if frac > INT_TOL {
+                let score = (x - x.floor() - 0.5).abs(); // smaller = more fractional
+                if best.is_none() || score < best.unwrap().1 {
+                    best = Some((v, score));
+                }
+            }
+        }
+        best
+    }
+
+    /// Rounds the LP point (SOS1 groups to their heaviest member, remaining
+    /// integers to nearest) and accepts the result if feasible.
+    fn try_rounding(&mut self, values: &[f64], lb: &[f64], ub: &[f64]) {
+        let mut rounded = values.to_vec();
+        for group in &self.model.sos1 {
+            // Heaviest member that is still allowed at this node wins.
+            let winner = group
+                .iter()
+                .filter(|v| ub[v.index()] > 0.5)
+                .max_by(|a, b| {
+                    values[a.index()]
+                        .partial_cmp(&values[b.index()])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            let Some(&winner) = winner else { return };
+            for &v in group {
+                rounded[v.index()] = if v == winner { 1.0 } else { 0.0 };
+            }
+        }
+        for &v in &self.int_vars {
+            let x = rounded[v.index()].round();
+            rounded[v.index()] = x.clamp(lb[v.index()], ub[v.index()]);
+        }
+        // Re-optimize continuous variables with the integers fixed.
+        let mut flb = lb.to_vec();
+        let mut fub = ub.to_vec();
+        for &v in &self.int_vars {
+            flb[v.index()] = rounded[v.index()];
+            fub[v.index()] = rounded[v.index()];
+        }
+        let lp = solve_lp(self.model, Some((&flb, &fub)));
+        if lp.status == LpStatus::Optimal
+            && self.model.is_feasible(&lp.values, 1e-6)
+            && lp.objective < self.incumbent_obj
+        {
+            self.incumbent_obj = lp.objective;
+            self.incumbent = Some(lp.values);
+        }
+    }
+
+    fn branch(
+        &mut self,
+        node: Node,
+        frac_var: VarId,
+        values: &[f64],
+        bound: f64,
+        stack: &mut Vec<Node>,
+    ) {
+        // SOS1 branching: if the fractional variable belongs to a group with
+        // several active members, split the group by LP weight.
+        if let Some(group) = self
+            .model
+            .sos1
+            .iter()
+            .find(|g| g.contains(&frac_var))
+        {
+            let mut active: Vec<VarId> = group
+                .iter()
+                .copied()
+                .filter(|v| node.ub[v.index()] > 0.5)
+                .collect();
+            if active.len() >= 2 {
+                active.sort_by(|a, b| {
+                    values[b.index()]
+                        .partial_cmp(&values[a.index()])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let half = (active.len() + 1) / 2;
+                let (heavy, light) = active.split_at(half);
+
+                let mut child_a = Node {
+                    lb: node.lb.clone(),
+                    ub: node.ub.clone(),
+                    parent_bound: bound,
+                    depth: node.depth + 1,
+                };
+                for v in light {
+                    child_a.ub[v.index()] = 0.0;
+                }
+                let mut child_b = Node {
+                    lb: node.lb,
+                    ub: node.ub,
+                    parent_bound: bound,
+                    depth: node.depth + 1,
+                };
+                for v in heavy {
+                    child_b.ub[v.index()] = 0.0;
+                }
+                // DFS explores the heavy half first (pushed last).
+                stack.push(child_b);
+                stack.push(child_a);
+                return;
+            }
+        }
+
+        // Plain floor/ceil branching.
+        let x = values[frac_var.index()];
+        let mut down = Node {
+            lb: node.lb.clone(),
+            ub: node.ub.clone(),
+            parent_bound: bound,
+            depth: node.depth + 1,
+        };
+        down.ub[frac_var.index()] = x.floor();
+        let mut up = Node {
+            lb: node.lb,
+            ub: node.ub,
+            parent_bound: bound,
+            depth: node.depth + 1,
+        };
+        up.lb[frac_var.index()] = x.ceil();
+        // Explore the side closer to the LP value first.
+        if x - x.floor() > 0.5 {
+            stack.push(down);
+            stack.push(up);
+        } else {
+            stack.push(up);
+            stack.push(down);
+        }
+    }
+}
+
+// Ensure VarKind is referenced (integer_vars filters on it).
+const _: fn() = || {
+    let _ = VarKind::Continuous;
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack() {
+        // max 10a + 13b + 7c + 4d st 3a+4b+2c+d <= 7
+        let mut m = Model::new();
+        let vars: Vec<_> = ["a", "b", "c", "d"].iter().map(|n| m.add_binary(n)).collect();
+        let weights = [3.0, 4.0, 2.0, 1.0];
+        let values = [10.0, 13.0, 7.0, 4.0];
+        m.add_le(
+            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect::<Vec<_>>(),
+            7.0,
+        );
+        m.set_objective(
+            vars.iter().zip(&values).map(|(&v, &p)| (v, -p)).collect::<Vec<_>>(),
+        );
+        let sol = solve(&m, &SolveParams::default());
+        assert_eq!(sol.status, Status::Optimal);
+        // best: b + c + d = 13+7+4 = 24 (weight 7)
+        assert_close(sol.objective, -24.0);
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 3x3 assignment, cost matrix with known optimum 1+2+3 = 6 on the diagonal.
+        let cost = [[1.0, 9.0, 9.0], [9.0, 2.0, 9.0], [9.0, 9.0, 3.0]];
+        let mut m = Model::new();
+        let mut x = vec![vec![]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                x[i].push(m.add_binary(&format!("x{i}{j}")));
+            }
+        }
+        for i in 0..3 {
+            m.add_eq(x[i].iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(), 1.0);
+            m.add_eq((0..3).map(|r| (x[r][i], 1.0)).collect::<Vec<_>>(), 1.0);
+            m.add_sos1(x[i].clone());
+        }
+        let mut obj = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj.push((x[i][j], cost[i][j]));
+            }
+        }
+        m.set_objective(obj);
+        let sol = solve(&m, &SolveParams::default());
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 6.0);
+        assert_close(sol.value(x[0][0]), 1.0);
+        assert_close(sol.value(x[1][1]), 1.0);
+        assert_close(sol.value(x[2][2]), 1.0);
+    }
+
+    #[test]
+    fn big_m_indicator() {
+        // Classic indicator: x <= 10*d, maximize x - 3*d with x in [0, 7].
+        // d=1,x=7 gives 4; d=0,x=0 gives 0. Optimal -4 in min form.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 7.0);
+        let d = m.add_binary("d");
+        m.add_le([(x, 1.0), (d, -10.0)], 0.0);
+        m.set_objective([(x, -1.0), (d, 3.0)]);
+        let sol = solve(&m, &SolveParams::default());
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, -4.0);
+        assert_close(sol.value(d), 1.0);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_ge([(a, 1.0), (b, 1.0)], 3.0);
+        m.set_objective([(a, 1.0)]);
+        let sol = solve(&m, &SolveParams::default());
+        assert_eq!(sol.status, Status::Infeasible);
+        assert!(!sol.has_solution());
+    }
+
+    #[test]
+    fn integer_variable_branching() {
+        // min -k st 3k <= 10, k integer in [0, 10] => k = 3.
+        let mut m = Model::new();
+        let k = m.add_integer("k", 0, 10);
+        m.add_le([(k, 3.0)], 10.0);
+        m.set_objective([(k, -1.0)]);
+        let sol = solve(&m, &SolveParams::default());
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.value(k), 3.0);
+    }
+
+    #[test]
+    fn warm_start_is_used_as_incumbent() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_le([(a, 1.0), (b, 1.0)], 1.0);
+        m.set_objective([(a, -2.0), (b, -1.0)]);
+        let params = SolveParams {
+            warm_start: Some(vec![0.0, 1.0]),
+            max_nodes: 0, // no search at all: only the warm start survives
+            ..SolveParams::default()
+        };
+        let sol = solve(&m, &params);
+        assert_eq!(sol.status, Status::Feasible);
+        assert_close(sol.objective, -1.0);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_not_optimal() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(&format!("v{i}"))).collect();
+        let w: Vec<f64> = (0..12).map(|i| ((i * 7) % 5 + 1) as f64).collect();
+        m.add_le(
+            vars.iter().zip(&w).map(|(&v, &wi)| (v, wi)).collect::<Vec<_>>(),
+            17.0,
+        );
+        m.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, -((i % 4 + 1) as f64)))
+                .collect::<Vec<_>>(),
+        );
+        let params = SolveParams {
+            max_nodes: 3,
+            ..SolveParams::default()
+        };
+        let sol = solve(&m, &params);
+        // With only 3 nodes the rounding heuristic should still find something.
+        assert!(matches!(sol.status, Status::Feasible | Status::Unknown | Status::Optimal));
+    }
+
+    #[test]
+    fn sos1_model_solves_exactly() {
+        // Pick one "position" per "cell" from 3 candidates each; forbid
+        // conflicting pairs; minimize candidate costs. Brute-force verified.
+        let costs = [[3.0, 1.0, 2.0], [2.0, 2.5, 0.5]];
+        // conflict: cell0-cand1 conflicts with cell1-cand2
+        let mut m = Model::new();
+        let mut lam = vec![vec![]; 2];
+        for c in 0..2 {
+            for k in 0..3 {
+                lam[c].push(m.add_binary(&format!("l{c}{k}")));
+            }
+            m.add_eq(lam[c].iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(), 1.0);
+            m.add_sos1(lam[c].clone());
+        }
+        m.add_le([(lam[0][1], 1.0), (lam[1][2], 1.0)], 1.0);
+        let mut obj = Vec::new();
+        for c in 0..2 {
+            for k in 0..3 {
+                obj.push((lam[c][k], costs[c][k]));
+            }
+        }
+        m.set_objective(obj);
+        let sol = solve(&m, &SolveParams::default());
+        assert_eq!(sol.status, Status::Optimal);
+
+        // Brute force.
+        let mut best = f64::INFINITY;
+        for a in 0..3 {
+            for b in 0..3 {
+                if a == 1 && b == 2 {
+                    continue;
+                }
+                best = best.min(costs[0][a] + costs[1][b]);
+            }
+        }
+        assert_close(sol.objective, best);
+    }
+
+    #[test]
+    fn equality_only_binary_system() {
+        // a + b == 1, b + c == 1, minimize a + c. Optimal: b=1, a=c=0.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_eq([(a, 1.0), (b, 1.0)], 1.0);
+        m.add_eq([(b, 1.0), (c, 1.0)], 1.0);
+        m.set_objective([(a, 1.0), (c, 1.0)]);
+        let sol = solve(&m, &SolveParams::default());
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 0.0);
+        assert_close(sol.value(b), 1.0);
+    }
+}

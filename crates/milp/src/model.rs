@@ -1,0 +1,369 @@
+use std::fmt;
+
+/// Handle to a variable of a [`Model`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable inside its model (also the index into
+    /// [`MilpSolution::values`](crate::MilpSolution::values)).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Integrality class of a variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Either 0 or 1.
+    Binary,
+    /// Integer-valued within its bounds.
+    Integer,
+}
+
+/// Direction of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConstraintSense {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// A linear expression `sum coeff_i * var_i` (no constant term; constants
+/// belong on the right-hand side of constraints).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` terms. May contain repeated variables;
+    /// they are summed when the model is solved.
+    pub terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// Creates an empty expression.
+    #[must_use]
+    pub fn new() -> LinExpr {
+        LinExpr { terms: Vec::new() }
+    }
+
+    /// Adds `coeff * var` to the expression (builder style).
+    pub fn add(&mut self, var: VarId, coeff: f64) -> &mut LinExpr {
+        self.terms.push((var, coeff));
+        self
+    }
+}
+
+impl<I: IntoIterator<Item = (VarId, f64)>> From<I> for LinExpr {
+    fn from(iter: I) -> LinExpr {
+        LinExpr {
+            terms: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub kind: VarKind,
+    pub lb: f64,
+    pub ub: f64,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Constraint {
+    pub expr: LinExpr,
+    pub sense: ConstraintSense,
+    pub rhs: f64,
+}
+
+/// A mixed-integer linear program in minimization form.
+///
+/// Build variables with [`Model::add_binary`] / [`Model::add_continuous`] /
+/// [`Model::add_integer`], add constraints with [`Model::add_le`] /
+/// [`Model::add_ge`] / [`Model::add_eq`], set the (minimized) objective with
+/// [`Model::set_objective`], then call [`crate::solve`].
+///
+/// Variable bounds must be finite for structural reasons except that
+/// continuous upper bounds may be `f64::INFINITY`; the formulations in this
+/// workspace always provide finite bounds, which keeps the simplex simple
+/// and fast.
+///
+/// # Examples
+///
+/// ```
+/// use vm1_milp::Model;
+///
+/// let mut m = Model::new();
+/// let x = m.add_continuous("x", 0.0, 10.0);
+/// let b = m.add_binary("b");
+/// m.add_le([(x, 1.0), (b, -10.0)], 0.0); // x <= 10 b
+/// m.set_objective([(x, -1.0)]); // maximize x
+/// assert_eq!(m.num_vars(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: Vec<f64>,
+    /// Groups of binary variables of which exactly one is 1 (the model must
+    /// also contain the corresponding `sum == 1` constraint); used for SOS1
+    /// branching.
+    pub(crate) sos1: Vec<Vec<VarId>>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Adds a continuous variable with bounds `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb > ub`, if `lb` is not finite, or if `ub` is NaN.
+    pub fn add_continuous(&mut self, name: &str, lb: f64, ub: f64) -> VarId {
+        assert!(lb.is_finite(), "lower bound of {name} must be finite");
+        assert!(!ub.is_nan() && lb <= ub, "invalid bounds [{lb}, {ub}] for {name}");
+        self.push_var(name, VarKind::Continuous, lb, ub)
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn add_binary(&mut self, name: &str) -> VarId {
+        self.push_var(name, VarKind::Binary, 0.0, 1.0)
+    }
+
+    /// Adds a general integer variable with bounds `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lb > ub`.
+    pub fn add_integer(&mut self, name: &str, lb: i64, ub: i64) -> VarId {
+        assert!(lb <= ub, "invalid bounds [{lb}, {ub}] for {name}");
+        self.push_var(name, VarKind::Integer, lb as f64, ub as f64)
+    }
+
+    fn push_var(&mut self, name: &str, kind: VarKind, lb: f64, ub: f64) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            name: name.to_owned(),
+            kind,
+            lb,
+            ub,
+        });
+        self.objective.push(0.0);
+        id
+    }
+
+    /// Adds the constraint `expr <= rhs`.
+    pub fn add_le(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_constraint(expr, ConstraintSense::Le, rhs);
+    }
+
+    /// Adds the constraint `expr >= rhs`.
+    pub fn add_ge(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_constraint(expr, ConstraintSense::Ge, rhs);
+    }
+
+    /// Adds the constraint `expr == rhs`.
+    pub fn add_eq(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_constraint(expr, ConstraintSense::Eq, rhs);
+    }
+
+    /// Adds a constraint with an explicit sense.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references a variable that does not belong to this
+    /// model or if a coefficient or the rhs is not finite.
+    pub fn add_constraint(&mut self, expr: impl Into<LinExpr>, sense: ConstraintSense, rhs: f64) {
+        let expr = expr.into();
+        for &(v, c) in &expr.terms {
+            assert!(v.0 < self.vars.len(), "constraint references unknown {v}");
+            assert!(c.is_finite(), "non-finite coefficient {c} on {v}");
+        }
+        assert!(rhs.is_finite(), "non-finite rhs {rhs}");
+        self.constraints.push(Constraint { expr, sense, rhs });
+    }
+
+    /// Sets the minimized objective. Terms replace any previous objective;
+    /// repeated variables are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references an unknown variable.
+    pub fn set_objective(&mut self, expr: impl Into<LinExpr>) {
+        self.objective.iter_mut().for_each(|c| *c = 0.0);
+        for (v, c) in expr.into().terms {
+            assert!(v.0 < self.vars.len(), "objective references unknown {v}");
+            self.objective[v.0] += c;
+        }
+    }
+
+    /// Declares that the given binary variables form an SOS1 group (exactly
+    /// one of them is 1 in any feasible solution). The caller must also add
+    /// the corresponding `sum == 1` constraint; the group declaration only
+    /// guides branching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is not a binary variable of this model.
+    pub fn add_sos1(&mut self, members: Vec<VarId>) {
+        for &v in &members {
+            assert!(
+                v.0 < self.vars.len() && self.vars[v.0].kind == VarKind::Binary,
+                "SOS1 member {v} must be a binary variable of this model"
+            );
+        }
+        self.sos1.push(members);
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Name of a variable (as given at creation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    #[must_use]
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Ids of all integer-constrained (binary or integer) variables.
+    pub(crate) fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind != VarKind::Continuous)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Evaluates the objective at a full assignment.
+    #[must_use]
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.objective
+            .iter()
+            .zip(values)
+            .map(|(c, x)| c * x)
+            .sum()
+    }
+
+    /// Checks whether `values` satisfies all constraints, bounds, and
+    /// integrality requirements within tolerance `tol`.
+    #[must_use]
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &x) in self.vars.iter().zip(values) {
+            if x < v.lb - tol || x > v.ub + tol {
+                return false;
+            }
+            if v.kind != VarKind::Continuous && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.expr.terms.iter().map(|&(v, co)| co * values[v.0]).sum();
+            let ok = match c.sense {
+                ConstraintSense::Le => lhs <= c.rhs + tol,
+                ConstraintSense::Ge => lhs >= c.rhs - tol,
+                ConstraintSense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 5.0);
+        let b = m.add_binary("b");
+        let k = m.add_integer("k", -2, 7);
+        m.add_le([(x, 1.0), (b, 2.0)], 4.0);
+        m.add_eq([(k, 1.0)], 3.0);
+        m.set_objective([(x, 1.0), (k, -1.0)]);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.num_constraints(), 2);
+        assert_eq!(m.integer_vars(), vec![b, k]);
+        assert_eq!(m.objective_value(&[2.0, 0.0, 3.0]), -1.0);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 5.0);
+        let b = m.add_binary("b");
+        m.add_le([(x, 1.0), (b, 2.0)], 4.0);
+        assert!(m.is_feasible(&[2.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[3.0, 1.0], 1e-9), "constraint violated");
+        assert!(!m.is_feasible(&[2.0, 0.5], 1e-9), "binary fractional");
+        assert!(!m.is_feasible(&[6.0, 0.0], 1e-9), "bound violated");
+        assert!(!m.is_feasible(&[1.0], 1e-9), "wrong arity");
+    }
+
+    #[test]
+    fn set_objective_replaces_and_merges() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.set_objective([(x, 1.0)]);
+        m.set_objective([(x, 2.0), (x, 3.0)]);
+        assert_eq!(m.objective_value(&[1.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn foreign_var_panics() {
+        let mut other = Model::new();
+        let foreign = other.add_binary("f");
+        let mut m = Model::new();
+        m.add_le([(foreign, 1.0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinite_lower_bound_panics() {
+        let mut m = Model::new();
+        let _ = m.add_continuous("x", f64::NEG_INFINITY, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SOS1")]
+    fn sos1_rejects_continuous() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_sos1(vec![x]);
+    }
+}

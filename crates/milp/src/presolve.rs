@@ -1,0 +1,256 @@
+//! Root presolve: activity-based constraint analysis and bound
+//! tightening.
+//!
+//! Before branch and bound starts, each constraint's minimum/maximum
+//! activity (over the variable bounds) is used to
+//!
+//! * detect infeasibility (`min activity > rhs` on a `≤` row),
+//! * drop redundant rows (`max activity ≤ rhs` on a `≤` row),
+//! * tighten variable bounds (the classic
+//!   `x_j ≤ (rhs − min activity without j) / a_j` rule), with integral
+//!   rounding for binaries/integers.
+//!
+//! Iterated to a fixpoint (bounded rounds). Exactness is guarded by the
+//! brute-force property tests in `tests/brute_force.rs`, which run the
+//! full solver (presolve included) against exhaustive enumeration.
+
+use crate::model::{ConstraintSense, Model, VarKind};
+
+const TOL: f64 = 1e-9;
+
+/// Result of [`presolve`].
+#[derive(Clone, Debug)]
+pub(crate) struct Presolved {
+    /// Tightened lower bounds.
+    pub lb: Vec<f64>,
+    /// Tightened upper bounds.
+    pub ub: Vec<f64>,
+    /// Constraints proven redundant under the tightened bounds
+    /// (observability/tests; kept for a future reduced-model LP path).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub redundant: Vec<bool>,
+    /// Whether the model is proven infeasible.
+    pub infeasible: bool,
+    /// Number of bound changes applied (observability/tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub tightenings: usize,
+}
+
+/// Runs presolve on `model` starting from its declared bounds.
+pub(crate) fn presolve(model: &Model) -> Presolved {
+    let n = model.num_vars();
+    let mut lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    let mut redundant = vec![false; model.num_constraints()];
+    let mut tightenings = 0usize;
+
+    for _round in 0..5 {
+        let mut changed = false;
+        for (ci, con) in model.constraints.iter().enumerate() {
+            if redundant[ci] {
+                continue;
+            }
+            // Normalize to a pair of ≤ rows: expr ≤ hi and expr ≥ lo.
+            let (lo_rhs, hi_rhs) = match con.sense {
+                ConstraintSense::Le => (f64::NEG_INFINITY, con.rhs),
+                ConstraintSense::Ge => (con.rhs, f64::INFINITY),
+                ConstraintSense::Eq => (con.rhs, con.rhs),
+            };
+            // Activity bounds.
+            let mut min_act = 0.0f64;
+            let mut max_act = 0.0f64;
+            for &(v, c) in &con.expr.terms {
+                let (l, u) = (lb[v.index()], ub[v.index()]);
+                if c >= 0.0 {
+                    min_act += c * l;
+                    max_act += c * u;
+                } else {
+                    min_act += c * u;
+                    max_act += c * l;
+                }
+            }
+            if min_act > hi_rhs + 1e-7 || max_act < lo_rhs - 1e-7 {
+                return Presolved {
+                    lb,
+                    ub,
+                    redundant,
+                    infeasible: true,
+                    tightenings,
+                };
+            }
+            if max_act <= hi_rhs + TOL && min_act >= lo_rhs - TOL {
+                redundant[ci] = true;
+                changed = true;
+                continue;
+            }
+
+            // Bound tightening per variable (skip rows with infinite
+            // activity from unbounded partners).
+            for &(v, c) in &con.expr.terms {
+                if c.abs() < TOL {
+                    continue;
+                }
+                let j = v.index();
+                let (l, u) = (lb[j], ub[j]);
+                // Activity of the rest of the row.
+                let (self_min, self_max) = if c >= 0.0 {
+                    (c * l, c * u)
+                } else {
+                    (c * u, c * l)
+                };
+                let rest_min = min_act - self_min;
+                let rest_max = max_act - self_max;
+                // expr ≤ hi_rhs:  c·x ≤ hi − rest_min.
+                if hi_rhs.is_finite() && rest_min.is_finite() {
+                    let cap = hi_rhs - rest_min;
+                    if c > 0.0 {
+                        let new_u = round_down(model, j, cap / c);
+                        if new_u < ub[j] - TOL {
+                            ub[j] = new_u;
+                            changed = true;
+                            tightenings += 1;
+                        }
+                    } else {
+                        let new_l = round_up(model, j, cap / c);
+                        if new_l > lb[j] + TOL {
+                            lb[j] = new_l;
+                            changed = true;
+                            tightenings += 1;
+                        }
+                    }
+                }
+                // expr ≥ lo_rhs:  c·x ≥ lo − rest_max.
+                if lo_rhs.is_finite() && rest_max.is_finite() {
+                    let floor = lo_rhs - rest_max;
+                    if c > 0.0 {
+                        let new_l = round_up(model, j, floor / c);
+                        if new_l > lb[j] + TOL {
+                            lb[j] = new_l;
+                            changed = true;
+                            tightenings += 1;
+                        }
+                    } else {
+                        let new_u = round_down(model, j, floor / c);
+                        if new_u < ub[j] - TOL {
+                            ub[j] = new_u;
+                            changed = true;
+                            tightenings += 1;
+                        }
+                    }
+                }
+                if lb[j] > ub[j] + 1e-7 {
+                    return Presolved {
+                        lb,
+                        ub,
+                        redundant,
+                        infeasible: true,
+                        tightenings,
+                    };
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let _ = n;
+    Presolved {
+        lb,
+        ub,
+        redundant,
+        infeasible: false,
+        tightenings,
+    }
+}
+
+fn round_down(model: &Model, j: usize, v: f64) -> f64 {
+    if model.vars[j].kind == VarKind::Continuous {
+        v
+    } else {
+        (v + 1e-7).floor()
+    }
+}
+
+fn round_up(model: &Model, j: usize, v: f64) -> f64 {
+    if model.vars[j].kind == VarKind::Continuous {
+        v
+    } else {
+        (v - 1e-7).ceil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn detects_infeasible_row() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_ge([(a, 1.0), (b, 1.0)], 3.0);
+        let p = presolve(&m);
+        assert!(p.infeasible);
+    }
+
+    #[test]
+    fn drops_redundant_rows() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        m.add_le([(a, 1.0)], 5.0); // always true
+        m.add_le([(a, 1.0)], 0.4); // binding
+        let p = presolve(&m);
+        assert!(!p.infeasible);
+        assert!(p.redundant[0]);
+        // Second row tightens a to 0 and then itself becomes redundant.
+        assert_eq!(p.ub[a.index()], 0.0);
+    }
+
+    #[test]
+    fn tightens_integer_bounds() {
+        let mut m = Model::new();
+        let k = m.add_integer("k", 0, 100);
+        m.add_le([(k, 3.0)], 10.0); // k ≤ 3.33 → k ≤ 3
+        let p = presolve(&m);
+        assert_eq!(p.ub[k.index()], 3.0);
+        assert!(p.tightenings >= 1);
+    }
+
+    #[test]
+    fn forces_binary_from_ge_row() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_ge([(a, 1.0), (b, 1.0)], 2.0); // both must be 1
+        let p = presolve(&m);
+        assert!(!p.infeasible);
+        assert_eq!(p.lb[a.index()], 1.0);
+        assert_eq!(p.lb[b.index()], 1.0);
+    }
+
+    #[test]
+    fn equality_rows_propagate_both_ways() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_eq([(x, 1.0), (y, 1.0)], 3.0);
+        let p = presolve(&m);
+        assert!(!p.infeasible);
+        assert!(p.ub[x.index()] <= 3.0 + 1e-9);
+        assert!(p.ub[y.index()] <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn feasible_model_untouched_bounds_stay_valid() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let x = m.add_continuous("x", -5.0, 5.0);
+        m.add_le([(a, 2.0), (x, 1.0)], 4.0);
+        let p = presolve(&m);
+        assert!(!p.infeasible);
+        assert!(p.lb[x.index()] >= -5.0);
+        assert!(p.ub[x.index()] <= 5.0);
+        assert!(p.lb.iter().zip(&p.ub).all(|(l, u)| l <= u));
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-validation of the branch-and-bound solver against exhaustive
+//! enumeration on randomly generated binary programs.
+//!
+//! For pure-binary models we can enumerate all 2^n assignments, check
+//! feasibility directly, and compare the optimum to the solver's answer.
+//! A mismatch in either direction (missed optimum or claimed-feasible
+//! infeasibility) fails the test.
+
+use proptest::prelude::*;
+use vm1_milp::{solve, Model, SolveParams, Status, VarId};
+
+/// A randomly parameterized pure-binary program.
+#[derive(Debug, Clone)]
+struct RandomBip {
+    n_vars: usize,
+    /// Per-constraint: (coefficients, rhs); sense is `<=`.
+    cons: Vec<(Vec<f64>, f64)>,
+    obj: Vec<f64>,
+}
+
+fn bip_strategy() -> impl Strategy<Value = RandomBip> {
+    (2usize..7)
+        .prop_flat_map(|n_vars| {
+            let cons = proptest::collection::vec(
+                (
+                    proptest::collection::vec(-4i32..5, n_vars),
+                    -3i32..(3 * n_vars as i32),
+                ),
+                1..5,
+            );
+            let obj = proptest::collection::vec(-5i32..6, n_vars);
+            (Just(n_vars), cons, obj)
+        })
+        .prop_map(|(n_vars, cons, obj)| RandomBip {
+            n_vars,
+            cons: cons
+                .into_iter()
+                .map(|(c, r)| (c.into_iter().map(f64::from).collect(), f64::from(r)))
+                .collect(),
+            obj: obj.into_iter().map(f64::from).collect(),
+        })
+}
+
+fn build_model(bip: &RandomBip) -> (Model, Vec<VarId>) {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..bip.n_vars)
+        .map(|i| m.add_binary(&format!("b{i}")))
+        .collect();
+    for (coeffs, rhs) in &bip.cons {
+        let expr: Vec<_> = vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)).collect();
+        m.add_le(expr, *rhs);
+    }
+    let obj: Vec<_> = vars.iter().zip(&bip.obj).map(|(&v, &c)| (v, c)).collect();
+    m.set_objective(obj);
+    (m, vars)
+}
+
+/// Exhaustive optimum: `None` when infeasible.
+fn brute_force(bip: &RandomBip) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << bip.n_vars) {
+        let x: Vec<f64> = (0..bip.n_vars)
+            .map(|i| f64::from((mask >> i) & 1))
+            .collect();
+        let feasible = bip.cons.iter().all(|(coeffs, rhs)| {
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+            lhs <= rhs + 1e-9
+        });
+        if feasible {
+            let obj: f64 = bip.obj.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+            best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn solver_matches_brute_force(bip in bip_strategy()) {
+        let (model, _) = build_model(&bip);
+        let expected = brute_force(&bip);
+        let sol = solve(&model, &SolveParams::default());
+        match expected {
+            None => prop_assert_eq!(sol.status, Status::Infeasible),
+            Some(opt) => {
+                prop_assert_eq!(sol.status, Status::Optimal);
+                prop_assert!((sol.objective - opt).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective, opt);
+                // The reported assignment must itself be feasible and attain
+                // the objective.
+                prop_assert!(model.is_feasible(&sol.values, 1e-6));
+                prop_assert!((model.objective_value(&sol.values) - opt).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_binary_continuous_matches_enumeration(
+        coeffs in proptest::collection::vec(-3i32..4, 3),
+        cap in 0i32..8,
+        price in proptest::collection::vec(-4i32..5, 3),
+        cub in 1u8..6,
+    ) {
+        // minimize  price . b + (-1) * y   subject to
+        //   coeffs . b + y <= cap,  0 <= y <= cub, b binary.
+        // For each of the 8 binary assignments the continuous optimum for y
+        // is min(cub, cap - coeffs . b) when nonnegative, else infeasible...
+        // y >= 0 so assignment feasible iff cap - coeffs.b >= 0.
+        let mut m = Model::new();
+        let bs: Vec<VarId> = (0..3).map(|i| m.add_binary(&format!("b{i}"))).collect();
+        let y = m.add_continuous("y", 0.0, f64::from(cub));
+        let mut expr: Vec<_> = bs.iter().zip(&coeffs).map(|(&b, &c)| (b, f64::from(c))).collect();
+        expr.push((y, 1.0));
+        m.add_le(expr, f64::from(cap));
+        let mut obj: Vec<_> = bs.iter().zip(&price).map(|(&b, &p)| (b, f64::from(p))).collect();
+        obj.push((y, -1.0));
+        m.set_objective(obj);
+
+        let mut expected: Option<f64> = None;
+        for mask in 0u32..8 {
+            let bvals: Vec<f64> = (0..3).map(|i| f64::from((mask >> i) & 1)).collect();
+            let used: f64 = coeffs.iter().zip(&bvals).map(|(c, b)| f64::from(*c) * b).sum();
+            let room = f64::from(cap) - used;
+            if room < -1e-9 {
+                continue;
+            }
+            let yv = room.min(f64::from(cub)).max(0.0);
+            let o: f64 = price.iter().zip(&bvals).map(|(p, b)| f64::from(*p) * b).sum::<f64>() - yv;
+            expected = Some(expected.map_or(o, |e: f64| e.min(o)));
+        }
+
+        let sol = solve(&m, &SolveParams::default());
+        match expected {
+            None => prop_assert_eq!(sol.status, Status::Infeasible),
+            Some(opt) => {
+                prop_assert_eq!(sol.status, Status::Optimal);
+                prop_assert!((sol.objective - opt).abs() < 1e-6,
+                    "solver {} vs enumeration {}", sol.objective, opt);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Design database for the vm1dp workspace: instances, nets, ports,
+//! placement rows, plus a deterministic synthetic-netlist generator and a
+//! simple DEF-style text format.
+//!
+//! The paper's flow reads LEF/DEF through OpenAccess and operates on
+//! post-route Innovus databases; this crate provides the equivalent
+//! in-memory structure the rest of the workspace (placer, router, MILP
+//! optimizer, timer) operates on:
+//!
+//! * [`Design`] — the netlist plus placement state. Coordinates are
+//!   site/row indices (placement is always site-aligned); absolute
+//!   nanometre positions derive from the [`vm1_tech::Technology`].
+//! * [`generator`] — seeded random designs with the size/shape profiles of
+//!   the paper's four testcases (`m0`, `aes`, `jpeg`, `vga`).
+//! * [`io`] — a compact DEF-like serialization with full round-trip
+//!   support.
+//!
+//! # Examples
+//!
+//! ```
+//! use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+//! use vm1_tech::{CellArch, Library};
+//!
+//! let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+//! let cfg = GeneratorConfig::profile(DesignProfile::M0).with_scale(0.02);
+//! let design = cfg.generate(&lib, 42);
+//! assert!(design.num_insts() > 100);
+//! design.validate_connectivity().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod design;
+pub mod generator;
+pub mod io;
+
+pub use design::{
+    Design, DesignError, InstId, Instance, Net, NetId, NetPin, PinRef, Port, PortId,
+};

@@ -1,0 +1,199 @@
+//! Tetris-style placement legalization.
+//!
+//! Processes instances in left-to-right order of their (possibly illegal)
+//! positions and greedily assigns each to the nearest free span over a
+//! window of candidate rows, minimizing displacement. This is the classic
+//! Hill "Tetris" scheme, sufficient for the mild overlaps produced by
+//! optimizer experiments and for stress tests.
+
+use crate::RowMap;
+use vm1_netlist::{Design, DesignError, InstId};
+
+/// Legalizes the design in place (movable instances only).
+///
+/// # Errors
+///
+/// Returns [`DesignError`] if some instance cannot be placed anywhere (core
+/// genuinely overfull).
+pub fn legalize(design: &mut Design) -> Result<(), DesignError> {
+    // Sort movable instances by current x (then row) — Tetris order.
+    let mut order: Vec<InstId> = design
+        .insts()
+        .filter(|(_, i)| !i.fixed)
+        .map(|(id, _)| id)
+        .collect();
+    order.sort_by_key(|&id| (design.inst(id).site, design.inst(id).row));
+
+    // Start from an occupancy map containing only fixed instances.
+    let mut map = RowMap::build_fixed_only(design);
+
+    for id in order {
+        let inst = design.inst(id);
+        let w = design.library().cell(inst.cell).width_sites;
+        let (want_site, want_row) = (inst.site, inst.row);
+        let orient = inst.orient;
+        let Some((site, row)) = find_nearest_span(&map, design, want_site, want_row, w) else {
+            return Err(DesignError::OutOfCore(design.inst(id).name.clone()));
+        };
+        map.insert(row, site, site + w, id);
+        design.move_inst(id, site, row, orient);
+    }
+    Ok(())
+}
+
+/// Finds the legal span of width `w` nearest to `(want_site, want_row)`.
+fn find_nearest_span(
+    map: &RowMap,
+    design: &Design,
+    want_site: i64,
+    want_row: i64,
+    w: i64,
+) -> Option<(i64, i64)> {
+    let num_rows = design.num_rows;
+    let sites = design.sites_per_row;
+    let mut best: Option<(i64, i64, i64)> = None; // (cost, site, row)
+    // Expand row search outward from the wanted row.
+    for dr in 0..num_rows {
+        for row in candidate_rows(want_row, dr, num_rows) {
+            if let Some((cost_so_far, _, _)) = best {
+                // Row distance alone already exceeds the best cost: done.
+                if dr * 8 > cost_so_far {
+                    return best.map(|(_, s, r)| (s, r));
+                }
+            }
+            // Scan for the nearest free span in this row.
+            if let Some(site) = nearest_free_in_row(map, row, want_site, w, sites) {
+                let cost = (site - want_site).abs() + dr * 8; // rows are ~8x taller
+                if best.is_none() || cost < best.unwrap().0 {
+                    best = Some((cost, site, row));
+                }
+            }
+        }
+    }
+    best.map(|(_, s, r)| (s, r))
+}
+
+fn candidate_rows(want: i64, dr: i64, num_rows: i64) -> Vec<i64> {
+    let mut rows = Vec::new();
+    if dr == 0 {
+        if (0..num_rows).contains(&want) {
+            rows.push(want);
+        }
+        if !(0..num_rows).contains(&want) {
+            rows.push(want.clamp(0, num_rows - 1));
+        }
+    } else {
+        for r in [want - dr, want + dr] {
+            if (0..num_rows).contains(&r) {
+                rows.push(r);
+            }
+        }
+    }
+    rows
+}
+
+/// Nearest free start site for a span of width `w` in `row`, by scanning
+/// outward from `want`.
+fn nearest_free_in_row(map: &RowMap, row: i64, want: i64, w: i64, sites: i64) -> Option<i64> {
+    let want = want.clamp(0, (sites - w).max(0));
+    let max_d = sites;
+    for d in 0..max_d {
+        for s in [want - d, want + d] {
+            if s >= 0 && s + w <= sites && map.is_free(row, s, s + w, None) {
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+impl RowMap {
+    /// Builds an occupancy index containing only fixed instances; used by
+    /// the legalizer, which re-inserts movable cells one at a time.
+    #[must_use]
+    pub fn build_fixed_only(design: &Design) -> RowMap {
+        let mut map = RowMap::empty(design.num_rows, design.sites_per_row);
+        for (id, inst) in design.insts() {
+            if inst.fixed {
+                let w = design.library().cell(inst.cell).width_sites;
+                map.insert(inst.row, inst.site, inst.site + w, id);
+            }
+        }
+        map
+    }
+
+    /// An empty index with the given dimensions.
+    #[must_use]
+    pub fn empty(num_rows: i64, sites_per_row: i64) -> RowMap {
+        RowMap::from_parts(vec![Vec::new(); num_rows.max(0) as usize], sites_per_row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm1_geom::Orient;
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_tech::{CellArch, Library};
+
+    #[test]
+    fn legalizes_overlapping_cells() {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = vm1_netlist::Design::new("t", lib, 3, 40);
+        let inv = d.library().cell_index("INV_X1").unwrap();
+        for i in 0..6 {
+            let id = d.add_inst(&format!("u{i}"), inv);
+            d.move_inst(id, 0, 0, Orient::North); // all stacked on one spot
+        }
+        assert!(d.validate_placement().is_err());
+        legalize(&mut d).unwrap();
+        d.validate_placement().expect("legal after legalize");
+    }
+
+    #[test]
+    fn preserves_already_legal_placements_mostly() {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(200)
+            .generate(&lib, 1);
+        crate::place(&mut d, &crate::PlaceConfig::default(), 1);
+        let before: Vec<(i64, i64)> = d.insts().map(|(_, i)| (i.site, i.row)).collect();
+        legalize(&mut d).unwrap();
+        d.validate_placement().unwrap();
+        let moved = d
+            .insts()
+            .zip(before)
+            .filter(|((_, i), b)| (i.site, i.row) != *b)
+            .count();
+        // A legal input should barely move.
+        assert!(moved < d.num_insts() / 5, "{moved} cells moved");
+    }
+
+    #[test]
+    fn respects_fixed_cells() {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = vm1_netlist::Design::new("t", lib, 2, 40);
+        let inv = d.library().cell_index("INV_X1").unwrap();
+        let f = d.add_inst("fixed", inv);
+        d.move_inst(f, 10, 0, Orient::North);
+        d.inst_mut(f).fixed = true;
+        let m = d.add_inst("mov", inv);
+        d.move_inst(m, 10, 0, Orient::North); // overlaps the fixed cell
+        legalize(&mut d).unwrap();
+        d.validate_placement().unwrap();
+        assert_eq!(d.inst(f).site, 10, "fixed cell must not move");
+        assert_ne!((d.inst(m).site, d.inst(m).row), (10, 0));
+    }
+
+    #[test]
+    fn fails_when_core_overfull() {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = vm1_netlist::Design::new("t", lib, 1, 10);
+        let inv = d.library().cell_index("INV_X1").unwrap(); // w=4
+        for i in 0..4 {
+            let id = d.add_inst(&format!("u{i}"), inv);
+            d.move_inst(id, 0, 0, Orient::North);
+        }
+        assert!(legalize(&mut d).is_err()); // 16 sites into 10
+    }
+}

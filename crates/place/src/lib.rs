@@ -1,0 +1,39 @@
+//! Placement for the vm1dp workspace: a net-centroid global placer, a
+//! Tetris-style legalizer, and a greedy wirelength-driven detailed
+//! refinement pass.
+//!
+//! The paper starts from a commercial (Innovus) placement; this crate
+//! produces the equivalent *input* to the vertical-M1 optimization — a
+//! legal, wirelength-reasonable placement at a chosen utilization. The
+//! greedy refiner doubles as the "traditional wirelength-driven detailed
+//! placement" baseline the paper contrasts with (its optimization problem
+//! is *not* HPWL-monotonic because dM1 routing is almost free; see §1.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+//! use vm1_place::{place, PlaceConfig};
+//! use vm1_tech::{CellArch, Library};
+//!
+//! let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+//! let mut d = GeneratorConfig::profile(DesignProfile::M0)
+//!     .with_insts(200)
+//!     .generate(&lib, 1);
+//! place(&mut d, &PlaceConfig::default(), 1);
+//! d.validate_placement().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod abacus;
+mod global;
+mod legalize;
+mod refine;
+mod rowmap;
+
+pub use abacus::legalize_abacus;
+pub use global::{place, scatter, PlaceConfig};
+pub use legalize::legalize;
+pub use refine::{greedy_refine, RefineStats};
+pub use rowmap::RowMap;

@@ -1,0 +1,154 @@
+//! Greedy wirelength-driven detailed-placement refinement.
+//!
+//! This is the "traditional HPWL-driven detailed placement" the paper
+//! contrasts with (§1.2): it slides each cell within its row and tries
+//! flips, accepting any move that reduces the HPWL of the cell's incident
+//! nets. It is used (a) to polish the global placement before routing, and
+//! (b) as the ablation baseline against the vertical-M1-aware MILP
+//! optimizer, which optimizes a *different*, non-monotonic objective.
+
+use crate::RowMap;
+use vm1_geom::{Dbu, Orient};
+use vm1_netlist::{Design, InstId, NetId};
+
+/// Statistics from [`greedy_refine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Accepted slide moves.
+    pub moves: usize,
+    /// Accepted orientation flips.
+    pub flips: usize,
+    /// HPWL before refinement (nm).
+    pub hpwl_before: Dbu,
+    /// HPWL after refinement (nm).
+    pub hpwl_after: Dbu,
+}
+
+/// Greedy per-cell refinement: for each movable instance try sliding up to
+/// `max_disp` sites left/right within its row (into free space only) and
+/// both orientations, keeping the best HPWL. Repeats for `passes` passes or
+/// until no move helps.
+///
+/// Returns statistics including before/after HPWL.
+pub fn greedy_refine(design: &mut Design, max_disp: i64, passes: usize) -> RefineStats {
+    let mut stats = RefineStats {
+        hpwl_before: design.total_hpwl(),
+        ..RefineStats::default()
+    };
+    let mut map = RowMap::build(design);
+
+    for _ in 0..passes {
+        let mut improved = false;
+        let ids: Vec<InstId> = design
+            .insts()
+            .filter(|(_, i)| !i.fixed)
+            .map(|(id, _)| id)
+            .collect();
+        for id in ids {
+            let nets = design.inst_nets(id);
+            if nets.is_empty() {
+                continue;
+            }
+            let w = design.library().cell(design.inst(id).cell).width_sites;
+            let (site0, row, orient0) = {
+                let i = design.inst(id);
+                (i.site, i.row, i.orient)
+            };
+            let base = nets_hpwl(design, &nets);
+            let mut best: Option<(Dbu, i64, Orient)> = None;
+            for d in -max_disp..=max_disp {
+                let s = site0 + d;
+                for orient in Orient::ALL {
+                    if d == 0 && orient == orient0 {
+                        continue;
+                    }
+                    if !map.is_free(row, s, s + w, Some(id)) {
+                        continue;
+                    }
+                    design.move_inst(id, s, row, orient);
+                    let cost = nets_hpwl(design, &nets);
+                    if cost < base && best.map_or(true, |(b, _, _)| cost < b) {
+                        best = Some((cost, s, orient));
+                    }
+                }
+            }
+            match best {
+                Some((_, s, orient)) => {
+                    design.move_inst(id, s, row, orient);
+                    map.relocate(id, row, row, s, s + w);
+                    if s != site0 {
+                        stats.moves += 1;
+                    }
+                    if orient != orient0 {
+                        stats.flips += 1;
+                    }
+                    improved = true;
+                }
+                None => design.move_inst(id, site0, row, orient0),
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    stats.hpwl_after = design.total_hpwl();
+    stats
+}
+
+fn nets_hpwl(design: &Design, nets: &[NetId]) -> Dbu {
+    nets.iter().map(|&n| design.net_hpwl(n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{place, PlaceConfig};
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn placed(n: usize, seed: u64) -> Design {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = GeneratorConfig::profile(DesignProfile::Aes)
+            .with_insts(n)
+            .generate(&lib, seed);
+        place(&mut d, &PlaceConfig::default(), seed);
+        d
+    }
+
+    #[test]
+    fn refinement_reduces_hpwl_and_stays_legal() {
+        let mut d = placed(300, 1);
+        let stats = greedy_refine(&mut d, 4, 3);
+        assert!(stats.hpwl_after <= stats.hpwl_before);
+        assert!(stats.moves + stats.flips > 0, "should find some moves");
+        d.validate_placement().expect("legal after refine");
+    }
+
+    #[test]
+    fn refinement_is_idempotent_at_fixpoint() {
+        let mut d = placed(150, 2);
+        let _ = greedy_refine(&mut d, 3, 10);
+        let again = greedy_refine(&mut d, 3, 1);
+        assert_eq!(again.hpwl_before, again.hpwl_after, "fixpoint reached");
+    }
+
+    #[test]
+    fn fixed_cells_never_move() {
+        let mut d = placed(100, 3);
+        let victim = InstId(0);
+        d.inst_mut(victim).fixed = true;
+        let pos = (d.inst(victim).site, d.inst(victim).row, d.inst(victim).orient);
+        let _ = greedy_refine(&mut d, 4, 2);
+        let now = (d.inst(victim).site, d.inst(victim).row, d.inst(victim).orient);
+        assert_eq!(pos, now);
+    }
+
+    #[test]
+    fn zero_displacement_allows_flip_only() {
+        let mut d = placed(100, 4);
+        let stats = greedy_refine(&mut d, 0, 2);
+        assert_eq!(stats.moves, 0);
+        assert!(stats.hpwl_after <= stats.hpwl_before);
+        d.validate_placement().unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+use vm1_netlist::{Design, InstId};
+
+/// Per-row occupancy index over placement sites.
+///
+/// Maintains, for every row, the sorted list of occupied `[start, end)`
+/// site spans with their owning instances. Used by the legalizer, the
+/// refinement pass, and the window optimizer to answer "is this span free?"
+/// and to move cells while keeping the index consistent.
+///
+/// # Examples
+///
+/// ```
+/// use vm1_netlist::Design;
+/// use vm1_place::RowMap;
+/// use vm1_tech::{CellArch, Library};
+///
+/// let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+/// let mut d = Design::new("t", lib, 2, 40);
+/// let inv = d.library().cell_index("INV_X1").unwrap();
+/// let u = d.add_inst("u0", inv);
+/// let map = RowMap::build(&d);
+/// assert!(!map.is_free(0, 0, 4, None)); // occupied by u0
+/// assert!(map.is_free(0, 0, 4, Some(u))); // …unless u0 is excluded
+/// assert!(map.is_free(0, 4, 8, None));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RowMap {
+    /// Per row: sorted `(start, end, inst)` spans.
+    rows: Vec<Vec<(i64, i64, InstId)>>,
+    sites_per_row: i64,
+}
+
+impl RowMap {
+    /// Assembles an index from raw parts (crate-internal).
+    pub(crate) fn from_parts(
+        rows: Vec<Vec<(i64, i64, InstId)>>,
+        sites_per_row: i64,
+    ) -> RowMap {
+        RowMap { rows, sites_per_row }
+    }
+
+    /// Builds the occupancy index from the current placement.
+    #[must_use]
+    pub fn build(design: &Design) -> RowMap {
+        let mut rows: Vec<Vec<(i64, i64, InstId)>> =
+            vec![Vec::new(); design.num_rows.max(0) as usize];
+        for (id, inst) in design.insts() {
+            let w = design.library().cell(inst.cell).width_sites;
+            if inst.row >= 0 && (inst.row as usize) < rows.len() {
+                rows[inst.row as usize].push((inst.site, inst.site + w, id));
+            }
+        }
+        for r in &mut rows {
+            r.sort_unstable_by_key(|s| s.0);
+        }
+        RowMap {
+            rows,
+            sites_per_row: design.sites_per_row,
+        }
+    }
+
+    /// Whether the site span `[start, end)` of `row` is inside the core and
+    /// free of instances (ignoring `exclude`, typically the moving cell
+    /// itself).
+    #[must_use]
+    pub fn is_free(&self, row: i64, start: i64, end: i64, exclude: Option<InstId>) -> bool {
+        if row < 0 || row as usize >= self.rows.len() || start < 0 || end > self.sites_per_row {
+            return false;
+        }
+        self.rows[row as usize]
+            .iter()
+            .filter(|&&(_, _, id)| Some(id) != exclude)
+            .all(|&(s, e, _)| e <= start || s >= end)
+    }
+
+    /// Instances whose spans intersect `[start, end)` of `row`.
+    #[must_use]
+    pub fn occupants(&self, row: i64, start: i64, end: i64) -> Vec<InstId> {
+        if row < 0 || row as usize >= self.rows.len() {
+            return Vec::new();
+        }
+        self.rows[row as usize]
+            .iter()
+            .filter(|&&(s, e, _)| e > start && s < end)
+            .map(|&(_, _, id)| id)
+            .collect()
+    }
+
+    /// Removes an instance's span from the index.
+    pub fn remove(&mut self, row: i64, inst: InstId) {
+        if row >= 0 && (row as usize) < self.rows.len() {
+            self.rows[row as usize].retain(|&(_, _, id)| id != inst);
+        }
+    }
+
+    /// Inserts an instance span (caller must have checked freeness).
+    pub fn insert(&mut self, row: i64, start: i64, end: i64, inst: InstId) {
+        let r = &mut self.rows[row as usize];
+        let pos = r.partition_point(|s| s.0 < start);
+        r.insert(pos, (start, end, inst));
+    }
+
+    /// Moves an instance from `(old_row)` to `(row, start..end)`.
+    pub fn relocate(&mut self, inst: InstId, old_row: i64, row: i64, start: i64, end: i64) {
+        self.remove(old_row, inst);
+        self.insert(row, start, end, inst);
+    }
+
+    /// Number of rows indexed.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Free-site count of a row.
+    #[must_use]
+    pub fn free_sites(&self, row: i64) -> i64 {
+        let used: i64 = self.rows[row as usize].iter().map(|&(s, e, _)| e - s).sum();
+        self.sites_per_row - used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm1_tech::{CellArch, Library};
+
+    fn design_with(placements: &[(i64, i64)]) -> Design {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = Design::new("t", lib, 3, 40);
+        let inv = d.library().cell_index("INV_X1").unwrap(); // width 4
+        for (i, &(site, row)) in placements.iter().enumerate() {
+            let id = d.add_inst(&format!("u{i}"), inv);
+            d.move_inst(id, site, row, vm1_geom::Orient::North);
+        }
+        d
+    }
+
+    #[test]
+    fn build_and_query() {
+        let d = design_with(&[(0, 0), (10, 0), (0, 1)]);
+        let m = RowMap::build(&d);
+        assert!(!m.is_free(0, 0, 4, None));
+        assert!(!m.is_free(0, 3, 5, None), "partial overlap");
+        assert!(m.is_free(0, 4, 10, None));
+        assert!(m.is_free(2, 0, 40, None));
+        assert!(!m.is_free(0, 38, 42, None), "outside core");
+        assert!(!m.is_free(-1, 0, 4, None));
+        assert!(!m.is_free(3, 0, 4, None));
+    }
+
+    #[test]
+    fn exclude_self() {
+        let d = design_with(&[(0, 0)]);
+        let m = RowMap::build(&d);
+        assert!(m.is_free(0, 0, 4, Some(InstId(0))));
+        assert!(m.is_free(0, 2, 6, Some(InstId(0))), "sliding over itself");
+    }
+
+    #[test]
+    fn occupants_reports_overlapping() {
+        let d = design_with(&[(0, 0), (10, 0)]);
+        let m = RowMap::build(&d);
+        assert_eq!(m.occupants(0, 2, 11), vec![InstId(0), InstId(1)]);
+        assert_eq!(m.occupants(0, 4, 10), Vec::<InstId>::new());
+    }
+
+    #[test]
+    fn relocate_keeps_index_consistent() {
+        let d = design_with(&[(0, 0), (10, 0)]);
+        let mut m = RowMap::build(&d);
+        m.relocate(InstId(0), 0, 1, 5, 9);
+        assert!(m.is_free(0, 0, 4, None));
+        assert!(!m.is_free(1, 5, 9, None));
+        assert_eq!(m.free_sites(0), 36);
+        assert_eq!(m.free_sites(1), 36);
+    }
+}

@@ -1,0 +1,441 @@
+//! Multi-source A* maze search over the routing lattice.
+
+use crate::grid::{Edge, RoutingGrid};
+use crate::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use vm1_tech::{Layer, LayerDir};
+
+/// Cost weights for the maze search (a view into the router config).
+#[derive(Clone, Copy, Debug)]
+pub struct MazeCosts {
+    /// Extra cost of one via cut, in nm-equivalents.
+    pub via_cost: i64,
+    /// Penalty per unit of existing usage on an edge (congestion avoidance).
+    pub overflow_penalty: i64,
+    /// Weight of the PathFinder history term.
+    pub history_weight: i64,
+}
+
+/// Reusable search scratch space (epoch-stamped arrays), so per-net
+/// searches allocate nothing.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    dist: Vec<i64>,
+    parent: Vec<NodeId>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl SearchSpace {
+    /// Creates scratch space for a grid with `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> SearchSpace {
+        SearchSpace {
+            dist: vec![0; n],
+            parent: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn visit(&mut self, node: NodeId) -> bool {
+        let i = node as usize;
+        if self.stamp[i] == self.epoch {
+            false
+        } else {
+            self.stamp[i] = self.epoch;
+            true
+        }
+    }
+
+    fn seen(&self, node: NodeId) -> bool {
+        self.stamp[node as usize] == self.epoch
+    }
+}
+
+/// Search window in grid coordinates (inclusive).
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBox {
+    /// Lowest column.
+    pub x_lo: i64,
+    /// Highest column.
+    pub x_hi: i64,
+    /// Lowest track.
+    pub y_lo: i64,
+    /// Highest track.
+    pub y_hi: i64,
+}
+
+impl SearchBox {
+    /// The whole grid.
+    #[must_use]
+    pub fn whole(grid: &RoutingGrid) -> SearchBox {
+        SearchBox {
+            x_lo: 0,
+            x_hi: grid.width - 1,
+            y_lo: 0,
+            y_hi: grid.tracks - 1,
+        }
+    }
+
+    /// Expands the box by `margin` and clamps to the grid.
+    #[must_use]
+    pub fn expanded(self, margin: i64, grid: &RoutingGrid) -> SearchBox {
+        SearchBox {
+            x_lo: (self.x_lo - margin).max(0),
+            x_hi: (self.x_hi + margin).min(grid.width - 1),
+            y_lo: (self.y_lo - margin).max(0),
+            y_hi: (self.y_hi + margin).min(grid.tracks - 1),
+        }
+    }
+
+    fn contains(self, x: i64, y: i64) -> bool {
+        (self.x_lo..=self.x_hi).contains(&x) && (self.y_lo..=self.y_hi).contains(&y)
+    }
+}
+
+/// Runs a multi-source A* from `sources` to any node in `targets`.
+///
+/// `allowed` lists nodes that are passable for this net even though they
+/// are globally blocked (its own pin shapes). Returns the node path from a
+/// source to the reached target (source first), or `None` if no path
+/// exists within `bbox`.
+pub fn search(
+    grid: &RoutingGrid,
+    space: &mut SearchSpace,
+    sources: &[NodeId],
+    targets: &HashSet<NodeId>,
+    allowed: &HashSet<NodeId>,
+    costs: MazeCosts,
+    bbox: SearchBox,
+) -> Option<Vec<NodeId>> {
+    space.epoch = space.epoch.wrapping_add(1);
+    if space.epoch == 0 {
+        // Stamp wrap-around: reset.
+        space.stamp.iter_mut().for_each(|s| *s = 0);
+        space.epoch = 1;
+    }
+
+    // Target bounding box for the admissible heuristic.
+    let mut tx_lo = i64::MAX;
+    let mut tx_hi = i64::MIN;
+    let mut ty_lo = i64::MAX;
+    let mut ty_hi = i64::MIN;
+    for &t in targets {
+        let (_, x, y) = grid.coords(t);
+        tx_lo = tx_lo.min(x);
+        tx_hi = tx_hi.max(x);
+        ty_lo = ty_lo.min(y);
+        ty_hi = ty_hi.max(y);
+    }
+    if targets.is_empty() {
+        return None;
+    }
+    let h = |x: i64, y: i64| -> i64 {
+        let dx = if x < tx_lo {
+            tx_lo - x
+        } else if x > tx_hi {
+            x - tx_hi
+        } else {
+            0
+        };
+        let dy = if y < ty_lo {
+            ty_lo - y
+        } else if y > ty_hi {
+            y - ty_hi
+        } else {
+            0
+        };
+        dx * grid.pitch_x + dy * grid.pitch_y
+    };
+
+    let mut heap: BinaryHeap<Reverse<(i64, NodeId)>> = BinaryHeap::new();
+    for &s in sources {
+        let (_, x, y) = grid.coords(s);
+        if !bbox.contains(x, y) {
+            continue;
+        }
+        if space.visit(s) {
+            space.dist[s as usize] = 0;
+            space.parent[s as usize] = s;
+            heap.push(Reverse((h(x, y), s)));
+        }
+    }
+
+    let edge_cost = |e: Edge, base: i64| -> i64 {
+        let u = grid.usage(e) as i64;
+        let hist = grid.history(e) as i64;
+        base + u * costs.overflow_penalty + hist * costs.history_weight
+    };
+
+    while let Some(Reverse((f, node))) = heap.pop() {
+        let g = space.dist[node as usize];
+        let (layer, x, y) = grid.coords(node);
+        if f - h(x, y) > g {
+            continue; // stale entry
+        }
+        if targets.contains(&node) {
+            // Reconstruct.
+            let mut path = vec![node];
+            let mut cur = node;
+            while space.parent[cur as usize] != cur {
+                cur = space.parent[cur as usize];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+
+        let mut try_neighbor = |nb: NodeId, step: i64, grid: &RoutingGrid| {
+            if !grid.passable(nb, allowed) {
+                return;
+            }
+            let e = grid
+                .edge_between(node, nb)
+                .expect("adjacent nodes form an edge");
+            let ng = g + edge_cost(e, step);
+            let i = nb as usize;
+            if !space.seen(nb) || ng < space.dist[i] {
+                if !space.seen(nb) {
+                    space.visit(nb);
+                }
+                space.dist[i] = ng;
+                space.parent[i] = node;
+                let (_, nx, ny) = grid.coords(nb);
+                heap.push(Reverse((ng + h(nx, ny), nb)));
+            }
+        };
+
+        // Same-layer moves, preferred direction only (M0 has no wires).
+        if layer != Layer::M0 {
+            match layer.dir() {
+                LayerDir::Horizontal => {
+                    if x + 1 <= bbox.x_hi {
+                        try_neighbor(grid.node(layer, x + 1, y), grid.pitch_x, grid);
+                    }
+                    if x - 1 >= bbox.x_lo {
+                        try_neighbor(grid.node(layer, x - 1, y), grid.pitch_x, grid);
+                    }
+                }
+                LayerDir::Vertical => {
+                    if y + 1 <= bbox.y_hi {
+                        try_neighbor(grid.node(layer, x, y + 1), grid.pitch_y, grid);
+                    }
+                    if y - 1 >= bbox.y_lo {
+                        try_neighbor(grid.node(layer, x, y - 1), grid.pitch_y, grid);
+                    }
+                }
+            }
+        }
+        // Vias up/down.
+        if let Some(up) = layer.above() {
+            try_neighbor(grid.node(up, x, y), costs.via_cost, grid);
+        }
+        if let Some(down) = layer.below() {
+            try_neighbor(grid.node(down, x, y), costs.via_cost, grid);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm1_geom::Dbu;
+    use vm1_netlist::Design;
+    use vm1_tech::{CellArch, Library, PinDir};
+
+    /// Empty design => empty grid for pure search tests.
+    fn empty_grid(rows: i64, sites: i64) -> RoutingGrid {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = Design::new("g", lib, rows, sites);
+        // One dummy net so the design is trivially valid (unused).
+        let p1 = d.add_port("a", vm1_geom::Point::new(Dbu(0), Dbu(0)), PinDir::In);
+        let p2 = d.add_port("b", vm1_geom::Point::new(Dbu(0), Dbu(360)), PinDir::Out);
+        let n = d.add_net("n");
+        d.connect_port(p1, n);
+        d.connect_port(p2, n);
+        RoutingGrid::build(&d).0
+    }
+
+    fn costs() -> MazeCosts {
+        MazeCosts {
+            via_cost: 150,
+            overflow_penalty: 3000,
+            history_weight: 800,
+        }
+    }
+
+    #[test]
+    fn routes_straight_wire_on_m2() {
+        let g = empty_grid(3, 30);
+        let mut sp = SearchSpace::new(g.num_nodes());
+        let s = g.node(Layer::M2, 2, 5);
+        let t = g.node(Layer::M2, 12, 5);
+        let path = search(
+            &g,
+            &mut sp,
+            &[s],
+            &HashSet::from([t]),
+            &HashSet::new(),
+            costs(),
+            SearchBox::whole(&g),
+        )
+        .expect("path");
+        assert_eq!(path.first(), Some(&s));
+        assert_eq!(path.last(), Some(&t));
+        assert_eq!(path.len(), 11, "straight line, no detour");
+    }
+
+    #[test]
+    fn l_shape_uses_via() {
+        let g = empty_grid(3, 30);
+        let mut sp = SearchSpace::new(g.num_nodes());
+        let s = g.node(Layer::M2, 2, 2);
+        let t = g.node(Layer::M2, 10, 12);
+        let path = search(
+            &g,
+            &mut sp,
+            &[s],
+            &HashSet::from([t]),
+            &HashSet::new(),
+            costs(),
+            SearchBox::whole(&g),
+        )
+        .expect("path");
+        // Must change layer to move vertically: at least 2 vias.
+        let layers: Vec<Layer> = path.iter().map(|&n| g.coords(n).0).collect();
+        assert!(layers.iter().any(|&l| l != Layer::M2));
+    }
+
+    #[test]
+    fn blocked_node_forces_detour() {
+        let mut g = empty_grid(3, 30);
+        // Wall on M2 track 5 between the terminals, plus block M1/M3
+        // around so it must go around.
+        let s = g.node(Layer::M2, 2, 5);
+        let t = g.node(Layer::M2, 12, 5);
+        let wall = g.node(Layer::M2, 7, 5);
+        g.block(wall);
+        let mut sp = SearchSpace::new(g.num_nodes());
+        let path = search(
+            &g,
+            &mut sp,
+            &[s],
+            &HashSet::from([t]),
+            &HashSet::new(),
+            costs(),
+            SearchBox::whole(&g),
+        )
+        .expect("path despite wall");
+        assert!(!path.contains(&wall));
+        assert!(path.len() > 11, "detour is longer");
+    }
+
+    #[test]
+    fn allowed_set_opens_blocked_nodes() {
+        let mut g = empty_grid(3, 30);
+        let s = g.node(Layer::M2, 2, 5);
+        let t = g.node(Layer::M2, 4, 5);
+        let mid = g.node(Layer::M2, 3, 5);
+        g.block(mid);
+        let mut sp = SearchSpace::new(g.num_nodes());
+        // Without allowance: path must detour.
+        let p1 = search(
+            &g,
+            &mut sp,
+            &[s],
+            &HashSet::from([t]),
+            &HashSet::new(),
+            costs(),
+            SearchBox::whole(&g),
+        )
+        .unwrap();
+        assert!(p1.len() > 3);
+        // With allowance: straight through.
+        let p2 = search(
+            &g,
+            &mut sp,
+            &[s],
+            &HashSet::from([t]),
+            &HashSet::from([mid]),
+            costs(),
+            SearchBox::whole(&g),
+        )
+        .unwrap();
+        assert_eq!(p2.len(), 3);
+    }
+
+    #[test]
+    fn bbox_restricts_search() {
+        let g = empty_grid(3, 30);
+        let mut sp = SearchSpace::new(g.num_nodes());
+        let s = g.node(Layer::M2, 2, 5);
+        let t = g.node(Layer::M2, 25, 5);
+        let tight = SearchBox {
+            x_lo: 0,
+            x_hi: 10,
+            y_lo: 0,
+            y_hi: 10,
+        };
+        assert!(search(
+            &g,
+            &mut sp,
+            &[s],
+            &HashSet::from([t]),
+            &HashSet::new(),
+            costs(),
+            tight
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn congestion_steers_away() {
+        let mut g = empty_grid(3, 30);
+        let s = g.node(Layer::M2, 2, 5);
+        let t = g.node(Layer::M2, 12, 5);
+        // Pre-load usage on the straight track.
+        for x in 2..12 {
+            let e = g
+                .edge_between(g.node(Layer::M2, x, 5), g.node(Layer::M2, x + 1, 5))
+                .unwrap();
+            g.add_usage(e, 1);
+        }
+        let mut sp = SearchSpace::new(g.num_nodes());
+        let path = search(
+            &g,
+            &mut sp,
+            &[s],
+            &HashSet::from([t]),
+            &HashSet::new(),
+            costs(),
+            SearchBox::whole(&g),
+        )
+        .unwrap();
+        // The router should avoid the congested track (detour via another
+        // track/layer), so the path is not the straight 11-node line.
+        assert!(path.len() > 11);
+    }
+
+    #[test]
+    fn multi_source_picks_nearest() {
+        let g = empty_grid(3, 30);
+        let mut sp = SearchSpace::new(g.num_nodes());
+        let far = g.node(Layer::M2, 0, 0);
+        let near = g.node(Layer::M2, 10, 5);
+        let t = g.node(Layer::M2, 12, 5);
+        let path = search(
+            &g,
+            &mut sp,
+            &[far, near],
+            &HashSet::from([t]),
+            &HashSet::new(),
+            costs(),
+            SearchBox::whole(&g),
+        )
+        .unwrap();
+        assert_eq!(path.first(), Some(&near));
+    }
+}

@@ -1,0 +1,173 @@
+//! Rectilinear Steiner minimal-tree (RSMT) estimation.
+//!
+//! Routers and wire-load models need a better net-length estimate than
+//! HPWL for multi-pin nets. This module implements the classic two-stage
+//! heuristic: build the rectilinear minimum spanning tree (Prim), then
+//! iteratively *steinerize* by snapping tree edges onto Hanan-grid points
+//! that let edges share trunk segments. It is exact for 2- and 3-pin
+//! nets and within a few percent of optimal for the net sizes that occur
+//! in standard-cell designs.
+//!
+//! The router uses the MST order for tree growth; reports can use
+//! [`rsmt_length`] as a routed-wirelength lower-bound sanity check
+//! (`HPWL ≤ RSMT ≤ routed WL` for every fully-routed net, up to
+//! congestion detours).
+
+use vm1_geom::{Dbu, Point};
+
+/// Length of the rectilinear minimum spanning tree over `points`
+/// (Prim's algorithm, Manhattan metric).
+#[must_use]
+pub fn rmst_length(points: &[Point]) -> Dbu {
+    if points.len() < 2 {
+        return Dbu::ZERO;
+    }
+    let n = points.len();
+    let mut in_tree = vec![false; n];
+    let mut dist = vec![i64::MAX; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        dist[j] = points[0].manhattan_distance(points[j]).nm();
+    }
+    let mut total = 0i64;
+    for _ in 1..n {
+        let (best, &d) = dist
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !in_tree[*j])
+            .min_by_key(|(_, &d)| d)
+            .expect("some node outside the tree");
+        total += d;
+        in_tree[best] = true;
+        for j in 0..n {
+            if !in_tree[j] {
+                let nd = points[best].manhattan_distance(points[j]).nm();
+                if nd < dist[j] {
+                    dist[j] = nd;
+                }
+            }
+        }
+    }
+    Dbu(total)
+}
+
+/// Heuristic rectilinear Steiner minimal-tree length over `points`.
+///
+/// Starts from the RMST and repeatedly inserts the Hanan point that
+/// reduces total length the most (connecting it to its three nearest
+/// neighbours replaces their pairwise tree paths), until no insertion
+/// helps. Exact for ≤ 3 pins.
+#[must_use]
+pub fn rsmt_length(points: &[Point]) -> Dbu {
+    match points.len() {
+        0 | 1 => Dbu::ZERO,
+        2 => points[0].manhattan_distance(points[1]),
+        3 => {
+            // Optimal 3-pin Steiner: connect through the median point.
+            let mut xs: Vec<i64> = points.iter().map(|p| p.x.nm()).collect();
+            let mut ys: Vec<i64> = points.iter().map(|p| p.y.nm()).collect();
+            xs.sort_unstable();
+            ys.sort_unstable();
+            Dbu((xs[2] - xs[0]) + (ys[2] - ys[0]))
+        }
+        _ => {
+            // Iterated 1-Steiner (restricted): add Hanan points while they
+            // reduce the MST length.
+            let mut pts = points.to_vec();
+            let mut best = rmst_length(&pts);
+            loop {
+                let mut improved: Option<(Point, Dbu)> = None;
+                // Hanan candidates from the ORIGINAL pins (keeps the
+                // candidate set quadratic in the pin count).
+                for &a in points {
+                    for &b in points {
+                        let cand = Point::new(a.x, b.y);
+                        if pts.contains(&cand) {
+                            continue;
+                        }
+                        pts.push(cand);
+                        let len = rmst_length(&pts);
+                        pts.pop();
+                        if len < best && improved.as_ref().map_or(true, |&(_, l)| len < l) {
+                            improved = Some((cand, len));
+                        }
+                    }
+                }
+                match improved {
+                    Some((p, len)) => {
+                        pts.push(p);
+                        best = len;
+                    }
+                    None => break,
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::new(Dbu(x), Dbu(y))
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(rsmt_length(&[]), Dbu(0));
+        assert_eq!(rsmt_length(&[p(5, 5)]), Dbu(0));
+        assert_eq!(rsmt_length(&[p(0, 0), p(3, 4)]), Dbu(7));
+        assert_eq!(rmst_length(&[p(0, 0), p(3, 4)]), Dbu(7));
+    }
+
+    #[test]
+    fn three_pin_median_optimal() {
+        // L-shaped triple: RSMT = bbox half-perimeter, MST is longer.
+        let pts = [p(0, 0), p(10, 0), p(5, 8)];
+        assert_eq!(rsmt_length(&pts), Dbu(18));
+        assert!(rmst_length(&pts) >= rsmt_length(&pts));
+    }
+
+    #[test]
+    fn four_pin_cross_gains_steiner_point() {
+        // Classic cross: 4 pins at (±10, 0), (0, ±10).
+        let pts = [p(-10, 0), p(10, 0), p(0, -10), p(0, 10)];
+        let mst = rmst_length(&pts);
+        let rsmt = rsmt_length(&pts);
+        assert_eq!(rsmt, Dbu(40), "trunk through the centre");
+        assert!(mst > rsmt, "mst {mst} must exceed rsmt {rsmt}");
+    }
+
+    #[test]
+    fn rsmt_bounded_by_hpwl_and_mst() {
+        // HPWL ≤ RSMT ≤ RMST for any point set.
+        let sets: Vec<Vec<Point>> = vec![
+            vec![p(0, 0), p(7, 3), p(2, 9), p(11, 6)],
+            vec![p(0, 0), p(1, 10), p(2, 1), p(8, 8), p(4, 5)],
+            vec![p(3, 3), p(3, 9), p(12, 3), p(12, 9), p(7, 6), p(0, 0)],
+        ];
+        for pts in sets {
+            let bbox = vm1_geom::Rect::bounding_box(pts.iter().copied()).unwrap();
+            let hpwl = bbox.half_perimeter();
+            let rsmt = rsmt_length(&pts);
+            let mst = rmst_length(&pts);
+            assert!(hpwl <= rsmt, "hpwl {hpwl} > rsmt {rsmt}");
+            assert!(rsmt <= mst, "rsmt {rsmt} > mst {mst}");
+        }
+    }
+
+    #[test]
+    fn collinear_points_cost_their_span() {
+        let pts = [p(0, 0), p(4, 0), p(9, 0), p(2, 0)];
+        assert_eq!(rsmt_length(&pts), Dbu(9));
+        assert_eq!(rmst_length(&pts), Dbu(9));
+    }
+
+    #[test]
+    fn duplicate_points_are_free() {
+        let pts = [p(1, 1), p(1, 1), p(5, 1)];
+        assert_eq!(rsmt_length(&pts), Dbu(4));
+    }
+}

@@ -1,0 +1,139 @@
+//! Behavioral tests of router-configuration knobs: the cost model must
+//! respond in the physically expected direction.
+
+use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+use vm1_netlist::Design;
+use vm1_place::{place, PlaceConfig};
+use vm1_route::{route, RouterConfig};
+use vm1_tech::{CellArch, Library};
+
+fn placed(n: usize, seed: u64) -> Design {
+    let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+    let mut d = GeneratorConfig::profile(DesignProfile::M0)
+        .with_insts(n)
+        .generate(&lib, seed);
+    place(&mut d, &PlaceConfig::default(), seed);
+    d
+}
+
+#[test]
+fn higher_via_cost_reduces_via_count() {
+    let d = placed(150, 1);
+    let cheap = route(
+        &d,
+        &RouterConfig {
+            via_cost: 10,
+            ..RouterConfig::default()
+        },
+    );
+    let pricey = route(
+        &d,
+        &RouterConfig {
+            via_cost: 1200,
+            ..RouterConfig::default()
+        },
+    );
+    let v_cheap: usize = cheap.metrics.vias.iter().sum();
+    let v_pricey: usize = pricey.metrics.vias.iter().sum();
+    assert!(
+        v_pricey <= v_cheap,
+        "expensive vias must not increase via count: {v_cheap} -> {v_pricey}"
+    );
+}
+
+#[test]
+fn wider_bbox_margin_cannot_lose_routes() {
+    let d = placed(150, 2);
+    let narrow = route(
+        &d,
+        &RouterConfig {
+            bbox_margin: 2,
+            ..RouterConfig::default()
+        },
+    );
+    let wide = route(
+        &d,
+        &RouterConfig {
+            bbox_margin: 40,
+            ..RouterConfig::default()
+        },
+    );
+    assert!(wide.metrics.unrouted <= narrow.metrics.unrouted);
+}
+
+#[test]
+fn more_iterations_never_increase_drvs() {
+    let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+    let mut d = GeneratorConfig::profile(DesignProfile::Aes)
+        .with_insts(300)
+        .with_utilization(0.86)
+        .generate(&lib, 3);
+    place(&mut d, &PlaceConfig::default(), 3);
+    let mut last = usize::MAX;
+    for iters in [1, 2, 4] {
+        let r = route(
+            &d,
+            &RouterConfig {
+                iterations: iters,
+                ..RouterConfig::default()
+            },
+        );
+        assert!(r.metrics.drvs <= last);
+        last = r.metrics.drvs;
+    }
+}
+
+#[test]
+fn route_metrics_are_internally_consistent() {
+    let d = placed(200, 4);
+    let r = route(&d, &RouterConfig::default());
+    // Layer WL sums to total.
+    let total: i64 = r.metrics.layer_wl.iter().map(|d| d.nm()).sum();
+    assert_eq!(total, r.metrics.routed_wl.nm());
+    // M0 carries no routed wirelength (pins only).
+    assert_eq!(r.metrics.layer_wl[0].nm(), 0);
+    // dM1 per net sums to the aggregate.
+    let dm1: usize = r.nets.iter().map(|n| n.dm1).sum();
+    assert_eq!(dm1, r.metrics.num_dm1);
+    // Every dM1 implies at least one M1 segment (or a stacked-via pair
+    // for degenerate same-track OpenM1 overlaps, not possible here).
+    for n in &r.nets {
+        if n.dm1 > 0 {
+            assert!(n.segments.iter().any(|s| s.layer == vm1_tech::Layer::M1));
+        }
+    }
+}
+
+#[test]
+fn gamma_limits_dm1_span() {
+    // Pins 4 rows apart must NOT get a dM1 with γ = 3.
+    use vm1_geom::{Dbu, Orient, Point};
+    use vm1_tech::PinDir;
+    let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+    let mut d = Design::new("gamma", lib, 6, 30);
+    let inv = d.library().cell_index("INV_X1").unwrap();
+    let lo = d.add_inst("lo", inv);
+    let hi = d.add_inst("hi", inv);
+    d.move_inst(lo, 5, 0, Orient::North);
+    d.move_inst(hi, 6, 4, Orient::North); // aligned columns, 4 rows apart
+    let n = d.add_net("n");
+    d.connect(lo, "ZN", n);
+    d.connect(hi, "A", n);
+    let p1 = d.add_port("i", Point::new(Dbu(0), Dbu(100)), PinDir::In);
+    let n_in = d.add_net("n_in");
+    d.connect_port(p1, n_in);
+    d.connect(lo, "A", n_in);
+    let p2 = d.add_port("o", Point::new(Dbu(30 * 48), Dbu(2000)), PinDir::Out);
+    let n_out = d.add_net("n_out");
+    d.connect(hi, "ZN", n_out);
+    d.connect_port(p2, n_out);
+
+    let r = route(&d, &RouterConfig::default());
+    assert_eq!(r.net(vm1_netlist::NetId(0)).dm1, 0, "beyond γ rows");
+
+    // Move within γ: 3 rows apart works.
+    let mut d2 = d.clone();
+    d2.move_inst(hi, 6, 3, Orient::North);
+    let r2 = route(&d2, &RouterConfig::default());
+    assert_eq!(r2.net(vm1_netlist::NetId(0)).dm1, 1, "within γ rows");
+}

@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Standard-cell architecture, per Figure 1 of the paper.
+///
+/// The architecture determines where cell pins live and whether inter-row
+/// vertical M1 routing is possible:
+///
+/// | Architecture | Signal pins | Inter-row M1? | dM1 condition |
+/// |---|---|---|---|
+/// | [`Conv12T`](CellArch::Conv12T) | short M1 | no (M1 PG rails) | — |
+/// | [`ClosedM1`](CellArch::ClosedM1) | 1-D vertical M1 @ site pitch | yes | pins x-**aligned** |
+/// | [`OpenM1`](CellArch::OpenM1) | horizontal M0 | yes | pins x-**overlapped** |
+///
+/// # Examples
+///
+/// ```
+/// use vm1_tech::CellArch;
+///
+/// assert!(CellArch::ClosedM1.allows_inter_row_m1());
+/// assert!(!CellArch::Conv12T.allows_inter_row_m1());
+/// assert!(CellArch::ClosedM1.requires_exact_alignment());
+/// assert!(!CellArch::OpenM1.requires_exact_alignment());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CellArch {
+    /// Conventional 12-track cells with M1 power/ground rails.
+    Conv12T,
+    /// ClosedM1 7.5-track cells: vertical M1 pins including boundary
+    /// VDD/VSS pins connected to M2 rails by V12.
+    #[default]
+    ClosedM1,
+    /// OpenM1 7.5-track cells: pins on M0, M1 essentially open.
+    OpenM1,
+}
+
+impl CellArch {
+    /// All architectures.
+    pub const ALL: [CellArch; 3] = [CellArch::Conv12T, CellArch::ClosedM1, CellArch::OpenM1];
+
+    /// Whether the architecture leaves M1 available for routing between
+    /// placement rows at all.
+    #[must_use]
+    pub fn allows_inter_row_m1(self) -> bool {
+        !matches!(self, CellArch::Conv12T)
+    }
+
+    /// Whether a direct vertical M1 connection requires the two pins to sit
+    /// on exactly the same M1 track (ClosedM1), as opposed to merely having
+    /// horizontally overlapping shapes (OpenM1).
+    #[must_use]
+    pub fn requires_exact_alignment(self) -> bool {
+        matches!(self, CellArch::ClosedM1)
+    }
+
+    /// Number of routing tracks per placement row (the "12T"/"7.5T" in the
+    /// architecture names, rounded to the usable integer count).
+    #[must_use]
+    pub fn tracks_per_row(self) -> i64 {
+        match self {
+            CellArch::Conv12T => 12,
+            CellArch::ClosedM1 | CellArch::OpenM1 => 7, // 7.5T, 7 usable
+        }
+    }
+}
+
+impl fmt::Display for CellArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellArch::Conv12T => write!(f, "Conv12T"),
+            CellArch::ClosedM1 => write!(f, "ClosedM1"),
+            CellArch::OpenM1 => write!(f, "OpenM1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_row_m1_rules() {
+        assert!(!CellArch::Conv12T.allows_inter_row_m1());
+        assert!(CellArch::ClosedM1.allows_inter_row_m1());
+        assert!(CellArch::OpenM1.allows_inter_row_m1());
+    }
+
+    #[test]
+    fn alignment_requirements() {
+        assert!(CellArch::ClosedM1.requires_exact_alignment());
+        assert!(!CellArch::OpenM1.requires_exact_alignment());
+        assert!(!CellArch::Conv12T.requires_exact_alignment());
+    }
+
+    #[test]
+    fn track_counts() {
+        assert_eq!(CellArch::Conv12T.tracks_per_row(), 12);
+        assert_eq!(CellArch::ClosedM1.tracks_per_row(), 7);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CellArch::OpenM1.to_string(), "OpenM1");
+    }
+}

@@ -1,0 +1,129 @@
+use std::fmt;
+
+/// Preferred routing direction of a metal layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LayerDir {
+    /// Wires run left–right.
+    Horizontal,
+    /// Wires run bottom–top.
+    Vertical,
+}
+
+/// Metal layers of the simplified sub-10nm back-end stack.
+///
+/// M0 is the complementary layer *below* M1 used for in-cell routing and,
+/// in the OpenM1 architecture, for the cell pins themselves (paper §1.1).
+/// Directions alternate starting from horizontal M0, so M1 is the vertical
+/// layer whose direct (single-segment) use the paper's optimization
+/// maximizes.
+///
+/// # Examples
+///
+/// ```
+/// use vm1_tech::{Layer, LayerDir};
+///
+/// assert_eq!(Layer::M1.dir(), LayerDir::Vertical);
+/// assert_eq!(Layer::M2.dir(), LayerDir::Horizontal);
+/// assert_eq!(Layer::M1.above(), Some(Layer::M2));
+/// assert_eq!(Layer::M0.below(), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Local interconnect below M1 (horizontal).
+    M0,
+    /// First mask metal (vertical) — the layer of interest.
+    M1,
+    /// Second metal (horizontal).
+    M2,
+    /// Third metal (vertical).
+    M3,
+    /// Fourth metal (horizontal).
+    M4,
+}
+
+impl Layer {
+    /// All layers, bottom-up.
+    pub const ALL: [Layer; 5] = [Layer::M0, Layer::M1, Layer::M2, Layer::M3, Layer::M4];
+
+    /// Number of layers in the stack.
+    pub const COUNT: usize = 5;
+
+    /// Index of the layer (0 for M0 … 4 for M4).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Layer from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= Layer::COUNT`.
+    #[must_use]
+    pub fn from_index(idx: usize) -> Layer {
+        Layer::ALL[idx]
+    }
+
+    /// Preferred routing direction.
+    #[must_use]
+    pub fn dir(self) -> LayerDir {
+        if self.index() % 2 == 0 {
+            LayerDir::Horizontal
+        } else {
+            LayerDir::Vertical
+        }
+    }
+
+    /// Next layer up, if any.
+    #[must_use]
+    pub fn above(self) -> Option<Layer> {
+        Layer::ALL.get(self.index() + 1).copied()
+    }
+
+    /// Next layer down, if any.
+    #[must_use]
+    pub fn below(self) -> Option<Layer> {
+        self.index().checked_sub(1).map(Layer::from_index)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_alternates() {
+        assert_eq!(Layer::M0.dir(), LayerDir::Horizontal);
+        assert_eq!(Layer::M1.dir(), LayerDir::Vertical);
+        assert_eq!(Layer::M2.dir(), LayerDir::Horizontal);
+        assert_eq!(Layer::M3.dir(), LayerDir::Vertical);
+        assert_eq!(Layer::M4.dir(), LayerDir::Horizontal);
+    }
+
+    #[test]
+    fn stack_navigation() {
+        assert_eq!(Layer::M0.above(), Some(Layer::M1));
+        assert_eq!(Layer::M4.above(), None);
+        assert_eq!(Layer::M0.below(), None);
+        assert_eq!(Layer::M3.below(), Some(Layer::M2));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for l in Layer::ALL {
+            assert_eq!(Layer::from_index(l.index()), l);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Layer::M1.to_string(), "M1");
+        assert_eq!(Layer::M4.to_string(), "M4");
+    }
+}

@@ -1,0 +1,135 @@
+//! LEF-style export of the synthetic libraries.
+//!
+//! The paper's flow consumes LEF through OpenAccess; this module writes
+//! the synthetic libraries in a compact LEF 5.7-flavoured text form so
+//! the cell geometry can be inspected with standard viewers or diffed
+//! across architecture variants. (Import is not needed — the libraries
+//! are generated deterministically in-process.)
+
+use crate::{Library, PinDir};
+use std::fmt::Write as _;
+
+/// Serializes the library as LEF-flavoured text.
+///
+/// Geometry is emitted in microns with the conventional
+/// `UNITS DATABASE MICRONS 1000` header (1 DBU = 1 nm).
+#[must_use]
+pub fn write_lef(library: &Library) -> String {
+    let tech = library.tech();
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.7 ;");
+    let _ = writeln!(out, "BUSBITCHARS \"[]\" ;");
+    let _ = writeln!(out, "DIVIDERCHAR \"/\" ;");
+    let _ = writeln!(out, "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS");
+    let _ = writeln!(
+        out,
+        "SITE core\n  CLASS CORE ;\n  SIZE {:.3} BY {:.3} ;\nEND core",
+        tech.site_width.nm() as f64 / 1000.0,
+        tech.row_height.nm() as f64 / 1000.0
+    );
+    for cell in library.cells() {
+        let _ = writeln!(out, "MACRO {}", cell.name);
+        let _ = writeln!(out, "  CLASS CORE ;");
+        let _ = writeln!(
+            out,
+            "  SIZE {:.3} BY {:.3} ;",
+            cell.width.nm() as f64 / 1000.0,
+            cell.height.nm() as f64 / 1000.0
+        );
+        let _ = writeln!(out, "  SYMMETRY X Y ;");
+        let _ = writeln!(out, "  SITE core ;");
+        for pin in &cell.pins {
+            let dir = match pin.dir {
+                PinDir::In => "INPUT",
+                PinDir::Out => "OUTPUT",
+                PinDir::Power => "INOUT",
+            };
+            let _ = writeln!(out, "  PIN {}", pin.name);
+            let _ = writeln!(out, "    DIRECTION {dir} ;");
+            if pin.dir == PinDir::Power {
+                let use_kw = if pin.name.contains("DD") { "POWER" } else { "GROUND" };
+                let _ = writeln!(out, "    USE {use_kw} ;");
+            }
+            let r = pin.shape.rect;
+            let _ = writeln!(out, "    PORT");
+            let _ = writeln!(out, "      LAYER {} ;", pin.shape.layer);
+            let _ = writeln!(
+                out,
+                "        RECT {:.3} {:.3} {:.3} {:.3} ;",
+                r.lo().x.nm() as f64 / 1000.0,
+                r.lo().y.nm() as f64 / 1000.0,
+                r.hi().x.nm() as f64 / 1000.0,
+                r.hi().y.nm() as f64 / 1000.0
+            );
+            let _ = writeln!(out, "    END");
+            let _ = writeln!(out, "  END {}", pin.name);
+        }
+        if !cell.m1_blockages.is_empty() {
+            let _ = writeln!(out, "  OBS");
+            let _ = writeln!(out, "      LAYER M1 ;");
+            for blk in &cell.m1_blockages {
+                let _ = writeln!(
+                    out,
+                    "        RECT {:.3} {:.3} {:.3} {:.3} ;",
+                    blk.lo().x.nm() as f64 / 1000.0,
+                    blk.lo().y.nm() as f64 / 1000.0,
+                    blk.hi().x.nm() as f64 / 1000.0,
+                    blk.hi().y.nm() as f64 / 1000.0
+                );
+            }
+            let _ = writeln!(out, "  END");
+        }
+        let _ = writeln!(out, "END {}", cell.name);
+    }
+    let _ = writeln!(out, "END LIBRARY");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellArch;
+
+    #[test]
+    fn emits_every_macro_and_pin() {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let lef = write_lef(&lib);
+        for cell in lib.cells() {
+            assert!(lef.contains(&format!("MACRO {}", cell.name)));
+            for pin in &cell.pins {
+                assert!(lef.contains(&format!("PIN {}", pin.name)));
+            }
+        }
+        assert!(lef.contains("DATABASE MICRONS 1000"));
+        assert!(lef.ends_with("END LIBRARY\n"));
+    }
+
+    #[test]
+    fn closedm1_power_pins_marked() {
+        let lef = write_lef(&Library::synthetic_7nm(CellArch::ClosedM1));
+        assert!(lef.contains("USE POWER"));
+        assert!(lef.contains("USE GROUND"));
+    }
+
+    #[test]
+    fn openm1_pins_on_m0_and_obstructions_present() {
+        let lef = write_lef(&Library::synthetic_7nm(CellArch::OpenM1));
+        assert!(lef.contains("LAYER M0"));
+        assert!(lef.contains("OBS"), "internal M1 straps exported as OBS");
+    }
+
+    #[test]
+    fn conv12t_exports_rail_obstructions() {
+        let lef = write_lef(&Library::synthetic_7nm(CellArch::Conv12T));
+        // Two rails per cell → at least 2 OBS rects.
+        assert!(lef.matches("OBS").count() >= 1);
+        assert!(lef.contains("SIZE 0.048 BY 0.576"), "12T site/row header");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = write_lef(&Library::synthetic_7nm(CellArch::ClosedM1));
+        let b = write_lef(&Library::synthetic_7nm(CellArch::ClosedM1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-style invariants of the synthetic libraries, across all
+//! architectures: geometry containment, track discipline, and timing
+//! sanity.
+
+use vm1_geom::Orient;
+use vm1_tech::{CellArch, Layer, Library, PinDir};
+
+#[test]
+fn pin_shapes_lie_inside_their_cells() {
+    for arch in CellArch::ALL {
+        let lib = Library::synthetic_7nm(arch);
+        for cell in lib.cells() {
+            for pin in &cell.pins {
+                let r = pin.shape.rect;
+                assert!(r.lo().x.nm() >= 0, "{}: {} left", cell.name, pin.name);
+                assert!(r.lo().y.nm() >= 0, "{}: {} bottom", cell.name, pin.name);
+                assert!(
+                    r.hi().x <= cell.width,
+                    "{}: {} right edge {} > width {}",
+                    cell.name,
+                    pin.name,
+                    r.hi().x,
+                    cell.width
+                );
+                assert!(r.hi().y <= cell.height, "{}: {} top", cell.name, pin.name);
+            }
+            for blk in &cell.m1_blockages {
+                assert!(blk.hi().x <= cell.width, "{}: blockage", cell.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn closedm1_signal_pins_use_distinct_columns() {
+    let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+    let tech = lib.tech();
+    for cell in lib.cells() {
+        let mut cols: Vec<i64> = cell
+            .signal_pins()
+            .map(|p| tech.x_to_site(p.x_center(Orient::North, cell.width)))
+            .collect();
+        cols.sort_unstable();
+        let before = cols.len();
+        cols.dedup();
+        assert_eq!(cols.len(), before, "{}: shared pin column", cell.name);
+        // And none on the boundary PG columns.
+        for &c in &cols {
+            assert!(c > 0 && c < cell.width_sites - 1, "{}: col {c}", cell.name);
+        }
+    }
+}
+
+#[test]
+fn flip_maps_pins_within_cell() {
+    for arch in CellArch::ALL {
+        let lib = Library::synthetic_7nm(arch);
+        for cell in lib.cells() {
+            for pin in cell.signal_pins() {
+                for orient in Orient::ALL {
+                    let r = pin.x_range(orient, cell.width);
+                    assert!(r.lo().nm() >= 0 && r.hi() <= cell.width);
+                }
+                // Flip is an involution on the centre position.
+                let c0 = pin.x_center(Orient::North, cell.width);
+                let c1 = pin.x_center(Orient::FlippedNorth, cell.width);
+                assert_eq!(c0 + c1, cell.width, "{}: {}", cell.name, pin.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn timing_parameters_are_physical() {
+    for arch in CellArch::ALL {
+        let lib = Library::synthetic_7nm(arch);
+        for cell in lib.cells() {
+            let t = &cell.timing;
+            assert!(t.drive_res > 0.0, "{}", cell.name);
+            assert!(t.intrinsic_ps > 0.0);
+            assert!(t.leakage_nw > 0.0);
+            assert!(t.internal_fj > 0.0);
+            assert!(t.setup_ps >= 0.0);
+            for pin in &cell.pins {
+                match pin.dir {
+                    PinDir::In => assert!(pin.cap_ff > 0.0, "{}:{}", cell.name, pin.name),
+                    PinDir::Out | PinDir::Power => assert_eq!(pin.cap_ff, 0.0),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn architectures_share_logical_interface() {
+    // Same cell set and pin names across architectures: a netlist maps to
+    // any of the three libraries.
+    let libs: Vec<Library> = CellArch::ALL
+        .iter()
+        .map(|&a| Library::synthetic_7nm(a))
+        .collect();
+    for (i, cell) in libs[0].cells().iter().enumerate() {
+        for other in &libs[1..] {
+            let peer = other.cell(i);
+            assert_eq!(cell.name, peer.name);
+            assert_eq!(cell.function, peer.function);
+            let names: Vec<&str> = cell.signal_pins().map(|p| p.name.as_str()).collect();
+            let peer_names: Vec<&str> = peer.signal_pins().map(|p| p.name.as_str()).collect();
+            assert_eq!(names, peer_names, "{}", cell.name);
+        }
+    }
+}
+
+#[test]
+fn pin_layers_match_architecture() {
+    for arch in CellArch::ALL {
+        let lib = Library::synthetic_7nm(arch);
+        let expect = match arch {
+            CellArch::OpenM1 => Layer::M0,
+            _ => Layer::M1,
+        };
+        for cell in lib.cells() {
+            for pin in cell.signal_pins() {
+                assert_eq!(pin.shape.layer, expect, "{}:{}", cell.name, pin.name);
+            }
+        }
+    }
+}

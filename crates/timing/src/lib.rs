@@ -1,0 +1,42 @@
+//! Static timing analysis and power estimation for the vm1dp workspace.
+//!
+//! The paper reports WNS and total power for every optimized design
+//! (Table 2). This crate provides the corresponding estimates:
+//!
+//! * **STA** ([`analyze`]) — a lumped single-arc model: cell delay
+//!   `intrinsic + R_drive · C_load`, wire delay from an Elmore-style
+//!   estimate over the routed (or HPWL-estimated) net RC, ideal clock,
+//!   setup-checked flop endpoints. Units are ps / kΩ / fF.
+//! * **Power** ([`power`]) — dynamic switching (`α · C · V² · f`) +
+//!   cell-internal energy + leakage, in mW.
+//! * [`min_clock_period`] — used by the flow to pick a clock so the initial
+//!   design closes timing (WNS ≈ 0), mirroring the paper's testcases.
+//!
+//! # Examples
+//!
+//! ```
+//! use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+//! use vm1_place::{place, PlaceConfig};
+//! use vm1_tech::{CellArch, Library};
+//!
+//! let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+//! let mut d = GeneratorConfig::profile(DesignProfile::M0)
+//!     .with_insts(100)
+//!     .generate(&lib, 1);
+//! place(&mut d, &PlaceConfig::default(), 1);
+//! let period = vm1_timing::min_clock_period(&d, None).unwrap() * 1.02;
+//! let report = vm1_timing::analyze(&d, None, period).unwrap();
+//! assert!(report.wns_ps >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod characterize;
+mod power;
+mod rc;
+mod sta;
+
+pub use characterize::{pin_extension_study, worst_delay_delta_ps, PinExtensionStudy};
+pub use power::{power, PowerReport};
+pub use rc::net_wire_cap_ff;
+pub use sta::{analyze, min_clock_period, net_slacks, TimingError, TimingReport};

@@ -1,0 +1,119 @@
+//! Switching + internal + leakage power estimation.
+
+use crate::rc::net_load_ff;
+use vm1_netlist::Design;
+use vm1_route::RouteResult;
+
+/// Result of [`power`], in milliwatts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerReport {
+    /// Net-switching power.
+    pub switching_mw: f64,
+    /// Cell-internal power.
+    pub internal_mw: f64,
+    /// Leakage power.
+    pub leakage_mw: f64,
+}
+
+impl PowerReport {
+    /// Total power in mW (the paper's "Power" column).
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.switching_mw + self.internal_mw + self.leakage_mw
+    }
+}
+
+/// Estimates design power at clock period `clock_period_ps`.
+///
+/// Switching power is `α · C_net · V² · f` summed over nets (µW with
+/// fF · V² · GHz), internal power is the per-cell toggle energy at the same
+/// activity, leakage is summed from the library.
+#[must_use]
+pub fn power(design: &Design, routes: Option<&RouteResult>, clock_period_ps: f64) -> PowerReport {
+    let e = &design.library().tech().electrical;
+    let f_ghz = if clock_period_ps > 0.0 {
+        1000.0 / clock_period_ps
+    } else {
+        0.0
+    };
+    let vdd2 = e.vdd * e.vdd;
+
+    let mut switching_uw = 0.0;
+    for (id, net) in design.nets() {
+        // The clock toggles every cycle (activity 1); data nets at α.
+        let activity = if net.name == "clk_net" { 1.0 } else { e.activity };
+        switching_uw += activity * net_load_ff(design, routes, id) * vdd2 * f_ghz;
+    }
+
+    let mut internal_uw = 0.0;
+    let mut leakage_nw = 0.0;
+    for (_, inst) in design.insts() {
+        let cell = design.library().cell(inst.cell);
+        let activity = if cell.function.is_sequential() { 0.5 } else { e.activity };
+        internal_uw += activity * cell.timing.internal_fj * f_ghz;
+        leakage_nw += cell.timing.leakage_nw;
+    }
+
+    PowerReport {
+        switching_mw: switching_uw / 1000.0,
+        internal_mw: internal_uw / 1000.0,
+        leakage_mw: leakage_nw / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_place::{place, PlaceConfig};
+    use vm1_route::{route, RouterConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn setup() -> (Design, RouteResult) {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(150)
+            .generate(&lib, 1);
+        place(&mut d, &PlaceConfig::default(), 1);
+        let r = route(&d, &RouterConfig::default());
+        (d, r)
+    }
+
+    #[test]
+    fn all_components_positive() {
+        let (d, r) = setup();
+        let p = power(&d, Some(&r), 1000.0);
+        assert!(p.switching_mw > 0.0);
+        assert!(p.internal_mw > 0.0);
+        assert!(p.leakage_mw > 0.0);
+        assert!(p.total_mw() > p.switching_mw);
+    }
+
+    #[test]
+    fn faster_clock_more_power() {
+        let (d, r) = setup();
+        let slow = power(&d, Some(&r), 2000.0);
+        let fast = power(&d, Some(&r), 1000.0);
+        assert!(fast.total_mw() > slow.total_mw());
+        // Leakage is frequency independent.
+        assert!((fast.leakage_mw - slow.leakage_mw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shorter_wires_less_power() {
+        let (mut d, _) = setup();
+        let placed = power(&d, None, 1000.0);
+        vm1_place::scatter(&mut d, 7);
+        let scattered = power(&d, None, 1000.0);
+        assert!(scattered.switching_mw > placed.switching_mw);
+    }
+
+    #[test]
+    fn zero_frequency_leaves_only_leakage() {
+        let (d, r) = setup();
+        let p = power(&d, Some(&r), 0.0);
+        assert_eq!(p.switching_mw, 0.0);
+        assert_eq!(p.internal_mw, 0.0);
+        assert!(p.leakage_mw > 0.0);
+    }
+}

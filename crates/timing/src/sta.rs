@@ -1,0 +1,510 @@
+//! Levelized static timing analysis.
+
+use crate::rc::{driver_to_sink_res_kohm, net_load_ff, net_wire_cap_ff};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use vm1_netlist::{Design, InstId, NetId, NetPin};
+use vm1_route::RouteResult;
+use vm1_tech::PinDir;
+
+/// STA failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimingError {
+    /// The combinational netlist contains a cycle.
+    CombinationalLoop,
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::CombinationalLoop => write!(f, "combinational loop detected"),
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+/// Result of [`analyze`].
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// Worst negative slack in ps (≥ 0 when timing is met — the paper
+    /// reports 0.000 for met designs).
+    pub wns_ps: f64,
+    /// Total negative slack in ps (sum over violating endpoints, ≤ 0).
+    pub tns_ps: f64,
+    /// Latest data arrival at any endpoint (ps).
+    pub max_arrival_ps: f64,
+    /// Number of timing endpoints (flop D pins + output ports).
+    pub endpoints: usize,
+}
+
+impl TimingReport {
+    /// WNS the way the paper prints it: 0.000 when met, negative otherwise
+    /// (in ns).
+    #[must_use]
+    pub fn wns_ns_paper(&self) -> f64 {
+        if self.wns_ps >= 0.0 {
+            0.0
+        } else {
+            self.wns_ps / 1000.0
+        }
+    }
+}
+
+/// Arrival-time engine shared by [`analyze`] and [`min_clock_period`].
+///
+/// Returns per-net driver-output arrival times (ps) or a loop error.
+fn arrivals(design: &Design, routes: Option<&RouteResult>) -> Result<Vec<f64>, TimingError> {
+    arrivals_with_order(design, routes).map(|(a, _)| a)
+}
+
+/// Like [`arrivals`] but also returns the combinational instances in the
+/// topological order they were processed (for the backward required-time
+/// pass).
+fn arrivals_with_order(
+    design: &Design,
+    routes: Option<&RouteResult>,
+) -> Result<(Vec<f64>, Vec<InstId>), TimingError> {
+    let clk_q_ps = |inst: InstId| -> f64 {
+        design.library().cell(design.inst(inst).cell).timing.intrinsic_ps
+    };
+
+    let mut arr_net: Vec<f64> = vec![f64::NAN; design.num_nets()];
+    // In-degree of a combinational cell = number of signal input pins.
+    let mut indeg: Vec<usize> = vec![0; design.num_insts()];
+    let mut is_comb: Vec<bool> = vec![false; design.num_insts()];
+    for (id, inst) in design.insts() {
+        let cell = design.library().cell(inst.cell);
+        if cell.function.is_sequential() {
+            continue;
+        }
+        is_comb[id.0] = true;
+        indeg[id.0] = cell
+            .pins
+            .iter()
+            .enumerate()
+            .filter(|(k, p)| p.dir == PinDir::In && inst.pin_nets[*k].is_some())
+            .count();
+    }
+
+    // Seed: nets driven by input ports or flop outputs.
+    let mut ready: VecDeque<InstId> = VecDeque::new();
+    let mut resolved = vec![false; design.num_nets()];
+    let resolve = |net: NetId,
+                       arr: f64,
+                       arr_net: &mut Vec<f64>,
+                       resolved: &mut Vec<bool>,
+                       indeg: &mut Vec<usize>,
+                       ready: &mut VecDeque<InstId>,
+                       design: &Design| {
+        if resolved[net.0] {
+            return;
+        }
+        resolved[net.0] = true;
+        arr_net[net.0] = arr;
+        for &np in &design.net(net).pins {
+            if let NetPin::Inst(pr) = np {
+                let pin = design.macro_pin(pr);
+                if pin.dir == PinDir::In && pin.name != "CK" && is_comb[pr.inst.0] {
+                    indeg[pr.inst.0] -= 1;
+                    if indeg[pr.inst.0] == 0 {
+                        ready.push_back(pr.inst);
+                    }
+                }
+            }
+        }
+    };
+
+    for (id, _) in design.nets() {
+        match design.net_driver(id) {
+            Some(NetPin::Port(_)) => {
+                resolve(id, 0.0, &mut arr_net, &mut resolved, &mut indeg, &mut ready, design);
+            }
+            Some(NetPin::Inst(pr)) => {
+                let inst = design.inst(pr.inst);
+                if design.library().cell(inst.cell).function.is_sequential() {
+                    // Flop output: clk→q from an ideal clock edge at 0.
+                    let arr = clk_q_ps(pr.inst)
+                        + design.library().cell(inst.cell).timing.drive_res
+                            * net_load_ff(design, routes, id);
+                    resolve(id, arr, &mut arr_net, &mut resolved, &mut indeg, &mut ready, design);
+                }
+            }
+            None => {}
+        }
+    }
+    // Combinational cells with no connected inputs are sources too.
+    for (id, _) in design.insts() {
+        if is_comb[id.0] && indeg[id.0] == 0 {
+            ready.push_back(id);
+        }
+    }
+
+    let mut processed = vec![false; design.num_insts()];
+    let mut topo_order: Vec<InstId> = Vec::new();
+    while let Some(inst_id) = ready.pop_front() {
+        if processed[inst_id.0] {
+            continue;
+        }
+        processed[inst_id.0] = true;
+        topo_order.push(inst_id);
+        let inst = design.inst(inst_id);
+        let cell = design.library().cell(inst.cell);
+        // Latest input arrival including wire delay from each input net's
+        // driver to this pin.
+        let mut worst_in: f64 = 0.0;
+        for (k, pin) in cell.pins.iter().enumerate() {
+            if pin.dir != PinDir::In || pin.name == "CK" {
+                continue;
+            }
+            if let Some(net) = inst.pin_nets[k] {
+                let base = arr_net[net.0];
+                let sink = NetPin::Inst(vm1_netlist::PinRef { inst: inst_id, pin: k });
+                let wire = wire_delay_ps(design, routes, net, sink);
+                worst_in = worst_in.max(base + wire);
+            }
+        }
+        // Output net.
+        for (k, pin) in cell.pins.iter().enumerate() {
+            if pin.dir == PinDir::Out {
+                if let Some(net) = inst.pin_nets[k] {
+                    let delay = cell.timing.intrinsic_ps
+                        + cell.timing.drive_res * net_load_ff(design, routes, net);
+                    resolve(
+                        net,
+                        worst_in + delay,
+                        &mut arr_net,
+                        &mut resolved,
+                        &mut indeg,
+                        &mut ready,
+                        design,
+                    );
+                }
+            }
+        }
+    }
+
+    // Any unresolved comb cell with inputs => cycle.
+    for (id, _) in design.insts() {
+        if is_comb[id.0] && !processed[id.0] && indeg[id.0] > 0 {
+            return Err(TimingError::CombinationalLoop);
+        }
+    }
+    Ok((arr_net, topo_order))
+}
+
+/// Per-net slack (ps): required time minus arrival time at the net's
+/// driver output, under an ideal clock of `clock_period_ps`. Nets that
+/// reach no timing endpoint (e.g. the clock net) get `+∞`.
+///
+/// # Errors
+///
+/// Returns [`TimingError::CombinationalLoop`] for cyclic netlists.
+pub fn net_slacks(
+    design: &Design,
+    routes: Option<&RouteResult>,
+    clock_period_ps: f64,
+) -> Result<Vec<f64>, TimingError> {
+    let (arr, topo) = arrivals_with_order(design, routes)?;
+    let mut req = vec![f64::INFINITY; design.num_nets()];
+
+    let tighten = |net: NetId, r: f64, req: &mut Vec<f64>| {
+        if r < req[net.0] {
+            req[net.0] = r;
+        }
+    };
+
+    // Endpoint requirements.
+    for (id, inst) in design.insts() {
+        let cell = design.library().cell(inst.cell);
+        if !cell.function.is_sequential() {
+            continue;
+        }
+        for (k, pin) in cell.pins.iter().enumerate() {
+            if pin.dir == PinDir::In && pin.name == "D" {
+                if let Some(net) = inst.pin_nets[k] {
+                    let sink = NetPin::Inst(vm1_netlist::PinRef { inst: id, pin: k });
+                    let wire = wire_delay_ps(design, routes, net, sink);
+                    tighten(net, clock_period_ps - cell.timing.setup_ps - wire, &mut req);
+                }
+            }
+        }
+    }
+    for (pid, port) in design.ports() {
+        if port.dir == PinDir::Out {
+            if let Some(net) = port.net {
+                let wire = wire_delay_ps(design, routes, net, NetPin::Port(pid));
+                tighten(net, clock_period_ps - wire, &mut req);
+            }
+        }
+    }
+
+    // Backward propagation through combinational cells (reverse topo).
+    for &inst_id in topo.iter().rev() {
+        let inst = design.inst(inst_id);
+        let cell = design.library().cell(inst.cell);
+        // Required at the cell's inputs = required at its output net minus
+        // the cell delay and each input's wire delay.
+        let mut out_req = f64::INFINITY;
+        let mut out_delay = 0.0;
+        for (k, pin) in cell.pins.iter().enumerate() {
+            if pin.dir == PinDir::Out {
+                if let Some(net) = inst.pin_nets[k] {
+                    out_req = req[net.0];
+                    out_delay = cell.timing.intrinsic_ps
+                        + cell.timing.drive_res * crate::rc::net_load_ff(design, routes, net);
+                }
+            }
+        }
+        if !out_req.is_finite() {
+            continue;
+        }
+        for (k, pin) in cell.pins.iter().enumerate() {
+            if pin.dir == PinDir::In && pin.name != "CK" {
+                if let Some(net) = inst.pin_nets[k] {
+                    let sink = NetPin::Inst(vm1_netlist::PinRef { inst: inst_id, pin: k });
+                    let wire = wire_delay_ps(design, routes, net, sink);
+                    tighten(net, out_req - out_delay - wire, &mut req);
+                }
+            }
+        }
+    }
+
+    Ok(req
+        .iter()
+        .zip(&arr)
+        .map(|(&r, &a)| {
+            if r.is_finite() && !a.is_nan() {
+                r - a
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect())
+}
+
+/// Elmore-style wire delay from the net driver to `sink`, in ps.
+fn wire_delay_ps(design: &Design, routes: Option<&RouteResult>, net: NetId, sink: NetPin) -> f64 {
+    let r = driver_to_sink_res_kohm(design, net, sink);
+    let cw = net_wire_cap_ff(design, routes, net);
+    let csink = match sink {
+        NetPin::Inst(pr) => design.macro_pin(pr).cap_ff,
+        NetPin::Port(_) => 1.0,
+    };
+    r * (0.5 * cw + csink)
+}
+
+/// Runs STA with an ideal clock of the given period (ps).
+///
+/// # Errors
+///
+/// Returns [`TimingError::CombinationalLoop`] for cyclic netlists.
+pub fn analyze(
+    design: &Design,
+    routes: Option<&RouteResult>,
+    clock_period_ps: f64,
+) -> Result<TimingReport, TimingError> {
+    let arr = arrivals(design, routes)?;
+    let mut wns = f64::INFINITY;
+    let mut tns = 0.0;
+    let mut max_arr: f64 = 0.0;
+    let mut endpoints = 0;
+
+    // Flop D endpoints.
+    for (id, inst) in design.insts() {
+        let cell = design.library().cell(inst.cell);
+        if !cell.function.is_sequential() {
+            continue;
+        }
+        for (k, pin) in cell.pins.iter().enumerate() {
+            if pin.dir == PinDir::In && pin.name == "D" {
+                if let Some(net) = inst.pin_nets[k] {
+                    if arr[net.0].is_nan() {
+                        continue;
+                    }
+                    let sink = NetPin::Inst(vm1_netlist::PinRef { inst: id, pin: k });
+                    let a = arr[net.0] + wire_delay_ps(design, routes, net, sink);
+                    let slack = clock_period_ps - cell.timing.setup_ps - a;
+                    endpoints += 1;
+                    max_arr = max_arr.max(a);
+                    wns = wns.min(slack);
+                    if slack < 0.0 {
+                        tns += slack;
+                    }
+                }
+            }
+        }
+    }
+    // Output-port endpoints.
+    for (pid, port) in design.ports() {
+        if port.dir == PinDir::Out {
+            if let Some(net) = port.net {
+                if arr[net.0].is_nan() {
+                    continue;
+                }
+                let a = arr[net.0] + wire_delay_ps(design, routes, net, NetPin::Port(pid));
+                let slack = clock_period_ps - a;
+                endpoints += 1;
+                max_arr = max_arr.max(a);
+                wns = wns.min(slack);
+                if slack < 0.0 {
+                    tns += slack;
+                }
+            }
+        }
+    }
+
+    Ok(TimingReport {
+        wns_ps: if endpoints == 0 { 0.0 } else { wns },
+        tns_ps: tns,
+        max_arrival_ps: max_arr,
+        endpoints,
+    })
+}
+
+/// The smallest clock period (ps) at which the design meets timing, i.e.
+/// the critical arrival plus worst setup.
+///
+/// # Errors
+///
+/// Returns [`TimingError::CombinationalLoop`] for cyclic netlists.
+pub fn min_clock_period(design: &Design, routes: Option<&RouteResult>) -> Result<f64, TimingError> {
+    // Probe with period 0: WNS = -(max arrival + setup margin).
+    let report = analyze(design, routes, 0.0)?;
+    Ok(-report.wns_ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_place::{place, PlaceConfig};
+    use vm1_route::{route, RouterConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn setup(n: usize) -> (Design, RouteResult) {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(n)
+            .generate(&lib, 1);
+        place(&mut d, &PlaceConfig::default(), 1);
+        let r = route(&d, &RouterConfig::default());
+        (d, r)
+    }
+
+    #[test]
+    fn min_period_closes_timing() {
+        let (d, r) = setup(150);
+        let t = min_clock_period(&d, Some(&r)).unwrap();
+        assert!(t > 0.0);
+        let rep = analyze(&d, Some(&r), t * 1.02).unwrap();
+        assert!(rep.wns_ps >= 0.0, "wns {}", rep.wns_ps);
+        assert_eq!(rep.wns_ns_paper(), 0.0);
+        assert_eq!(rep.tns_ps, 0.0);
+        assert!(rep.endpoints > 0);
+    }
+
+    #[test]
+    fn tight_clock_fails_timing() {
+        let (d, r) = setup(150);
+        let t = min_clock_period(&d, Some(&r)).unwrap();
+        let rep = analyze(&d, Some(&r), t * 0.5).unwrap();
+        assert!(rep.wns_ps < 0.0);
+        assert!(rep.tns_ps < 0.0);
+        assert!(rep.wns_ns_paper() < 0.0);
+    }
+
+    #[test]
+    fn longer_wires_mean_later_arrivals() {
+        let (mut d, _) = setup(150);
+        let base = min_clock_period(&d, None).unwrap();
+        // Scatter destroys placement quality => longer wires => slower.
+        vm1_place::scatter(&mut d, 123);
+        let scattered = min_clock_period(&d, None).unwrap();
+        assert!(
+            scattered > base,
+            "scattered {scattered} vs placed {base}"
+        );
+    }
+
+    #[test]
+    fn routed_vs_estimated_are_both_positive() {
+        let (d, r) = setup(100);
+        let a = min_clock_period(&d, Some(&r)).unwrap();
+        let b = min_clock_period(&d, None).unwrap();
+        assert!(a > 0.0 && b > 0.0);
+    }
+
+    #[test]
+    fn wns_monotone_in_period() {
+        let (d, r) = setup(100);
+        let t = min_clock_period(&d, Some(&r)).unwrap();
+        let r1 = analyze(&d, Some(&r), t).unwrap();
+        let r2 = analyze(&d, Some(&r), t + 100.0).unwrap();
+        assert!(r2.wns_ps > r1.wns_ps - 1e-9);
+        assert_eq!(r1.max_arrival_ps, r2.max_arrival_ps);
+    }
+}
+
+#[cfg(test)]
+mod slack_tests {
+    use super::*;
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_place::{place, PlaceConfig};
+    use vm1_route::{route, RouterConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn setup() -> (Design, vm1_route::RouteResult) {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(150)
+            .generate(&lib, 1);
+        place(&mut d, &PlaceConfig::default(), 1);
+        let r = route(&d, &RouterConfig::default());
+        (d, r)
+    }
+
+    #[test]
+    fn worst_net_slack_matches_wns() {
+        let (d, r) = setup();
+        let t = min_clock_period(&d, Some(&r)).unwrap() * 1.02;
+        let rep = analyze(&d, Some(&r), t).unwrap();
+        let slacks = net_slacks(&d, Some(&r), t).unwrap();
+        let worst = slacks.iter().copied().fold(f64::INFINITY, f64::min);
+        // Net slacks include the endpooint wire-delay model, so the worst
+        // net slack equals the endpoint WNS within tolerance.
+        assert!((worst - rep.wns_ps).abs() < 1.0, "worst {worst} vs wns {}", rep.wns_ps);
+    }
+
+    #[test]
+    fn clock_net_has_infinite_slack() {
+        let (d, r) = setup();
+        let t = min_clock_period(&d, Some(&r)).unwrap();
+        let slacks = net_slacks(&d, Some(&r), t).unwrap();
+        let clk = d.nets().find(|(_, n)| n.name == "clk_net").unwrap().0;
+        assert_eq!(slacks[clk.0], f64::INFINITY);
+    }
+
+    #[test]
+    fn slacks_shift_with_clock_period() {
+        let (d, r) = setup();
+        let t = min_clock_period(&d, Some(&r)).unwrap();
+        let s1 = net_slacks(&d, Some(&r), t).unwrap();
+        let s2 = net_slacks(&d, Some(&r), t + 100.0).unwrap();
+        for (a, b) in s1.iter().zip(&s2) {
+            if a.is_finite() {
+                assert!((b - a - 100.0).abs() < 1e-6, "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn critical_nets_exist_at_min_period() {
+        let (d, r) = setup();
+        let t = min_clock_period(&d, Some(&r)).unwrap();
+        let slacks = net_slacks(&d, Some(&r), t).unwrap();
+        let near_zero = slacks.iter().filter(|s| s.is_finite() && **s < 1.0).count();
+        assert!(near_zero >= 1, "some critical net at the minimum period");
+    }
+}

@@ -1,0 +1,38 @@
+//! Visual intuition: render a small ClosedM1 placement before and after
+//! the vertical-M1 optimization. `#` = occupied sites, `|` = an M1 track
+//! column carrying an alignable pin pair (a potential direct vertical M1
+//! route). Watch the `|` columns multiply.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example layout_art
+//! ```
+
+use vm1_core::{count_alignments, vm1opt, ParamSet, Vm1Config};
+use vm1_flow::viz::render_placement;
+use vm1_flow::{build_testcase, FlowConfig};
+use vm1_netlist::generator::DesignProfile;
+use vm1_tech::CellArch;
+
+fn main() {
+    let flow = FlowConfig::new(DesignProfile::M0, CellArch::ClosedM1)
+        .with_scale(0.012)
+        .with_seed(2);
+    let mut tc = build_testcase(&flow);
+    let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 4, 1)]);
+
+    println!(
+        "before ({} alignable pairs):",
+        count_alignments(&tc.design, &cfg)
+    );
+    println!("{}", render_placement(&tc.design, &cfg, 100));
+
+    vm1opt(&mut tc.design, &cfg);
+
+    println!(
+        "after  ({} alignable pairs):",
+        count_alignments(&tc.design, &cfg)
+    );
+    println!("{}", render_placement(&tc.design, &cfg, 100));
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build a small ClosedM1 design, optimize it for direct
+//! vertical M1 routing, and print the before/after metrics.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vm1_core::{ParamSet, Vm1Config};
+use vm1_flow::{build_testcase, optimize_and_measure, FlowConfig};
+use vm1_netlist::generator::DesignProfile;
+use vm1_tech::CellArch;
+
+fn main() {
+    // 1. Build a testcase: synthetic aes-like netlist on the ClosedM1
+    //    7.5-track library, placed and timing-calibrated.
+    let flow = FlowConfig::new(DesignProfile::Aes, CellArch::ClosedM1)
+        .with_scale(0.03)
+        .with_seed(1);
+    let mut tc = build_testcase(&flow);
+    println!(
+        "design {}: {} instances, {} nets, utilization {:.0}%",
+        tc.design.name(),
+        tc.design.num_insts(),
+        tc.design.num_nets(),
+        tc.design.utilization() * 100.0
+    );
+
+    // 2. Configure the optimizer with the paper's preferred settings
+    //    (α = 1200, square windows, perturb-then-flip schedule).
+    let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(4.0, 4, 1)]);
+
+    // 3. Measure → optimize → re-route → measure.
+    let row = optimize_and_measure(&mut tc, &cfg);
+
+    println!();
+    println!("                         Init        Final");
+    println!("#dM1                {:>9}    {:>9}  ({:.1}x)", row.init.dm1, row.fin.dm1, row.dm1_ratio());
+    println!("alignable pairs     {:>9}    {:>9}", row.init.alignments, row.fin.alignments);
+    println!("M1 WL (um)          {:>9.1}    {:>9.1}", row.init.m1_wl.to_um(), row.fin.m1_wl.to_um());
+    println!("#via12              {:>9}    {:>9}  ({:+.1}%)", row.init.via12, row.fin.via12, row.via12_delta_pct());
+    println!("HPWL (um)           {:>9.1}    {:>9.1}  ({:+.1}%)", row.init.hpwl.to_um(), row.fin.hpwl.to_um(), row.hpwl_delta_pct());
+    println!("routed WL (um)      {:>9.1}    {:>9.1}  ({:+.1}%)", row.init.rwl.to_um(), row.fin.rwl.to_um(), row.rwl_delta_pct());
+    println!("WNS (ns)            {:>9.3}    {:>9.3}", row.init.wns_ns, row.fin.wns_ns);
+    println!("power (mW)          {:>9.3}    {:>9.3}", row.init.power_mw, row.fin.power_mw);
+    println!("optimizer runtime   {:>9} ms", row.runtime_ms);
+}

@@ -1,0 +1,67 @@
+//! Smoke runs of every experiment driver: each figure/table generator
+//! must execute end-to-end and reproduce the paper's qualitative
+//! direction at toy scale.
+
+use vm1_flow::experiments::{
+    expt_a1, expt_a2, expt_a3, expt_b, expt_fig8, ExperimentScale,
+};
+use vm1_tech::CellArch;
+
+#[test]
+fn figure5_smoke_runs_and_reports_points() {
+    let rows = expt_a1(ExperimentScale::Smoke);
+    assert_eq!(rows.len(), 2);
+    for r in &rows {
+        assert!(r.rwl_um > 0.0);
+    }
+    // Window sizes differ between the two points (the runtime-vs-window
+    // trend itself is asserted at Reduced scale by the bench harness, not
+    // at smoke scale where runtimes are noise).
+    assert!(rows[0].bw_um < rows[1].bw_um);
+}
+
+#[test]
+fn figure6_smoke_alpha_grows_alignments() {
+    let rows = expt_a2(ExperimentScale::Smoke, CellArch::ClosedM1);
+    let zero = &rows[0];
+    let paper = &rows[1];
+    assert_eq!(zero.alpha, 0.0);
+    assert!(paper.alignments >= zero.alignments, "α pulls pins together");
+    assert!(paper.dm1 >= zero.dm1);
+}
+
+#[test]
+fn figure7_smoke_sequences_run() {
+    let rows = expt_a3(ExperimentScale::Smoke);
+    assert_eq!(rows.len(), 2);
+    for r in &rows {
+        assert!(r.rwl_um > 0.0);
+        assert!(!r.label.is_empty());
+    }
+}
+
+#[test]
+fn table2_smoke_closedm1_direction() {
+    let rows = expt_b(ExperimentScale::Smoke, CellArch::ClosedM1);
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0];
+    assert!(r.fin.dm1 >= r.init.dm1, "optimizer must not lose dM1");
+    assert!(r.fin.alignments >= r.init.alignments);
+    assert_eq!(r.init.wns_ns, 0.0, "calibrated init meets timing");
+}
+
+#[test]
+fn table2_smoke_openm1_runs() {
+    let rows = expt_b(ExperimentScale::Smoke, CellArch::OpenM1);
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].fin.alignments >= rows[0].init.alignments);
+}
+
+#[test]
+fn figure8_smoke_runs() {
+    let rows = expt_fig8(ExperimentScale::Smoke);
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0];
+    assert!(r.dm1_opt > 0);
+    assert!(r.drvs_opt <= r.drvs_orig + 2, "optimization must not blow up DRVs");
+}
