@@ -6,12 +6,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use vm1_flow::experiments::{
-    expt_a1, expt_a2, expt_a3, expt_b, expt_fig8, ExperimentScale,
-};
+use vm1_flow::experiments::{expt_a1, expt_a2, expt_a3, expt_b, expt_fig8, ExperimentScale};
 use vm1_tech::CellArch;
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     g
@@ -60,5 +61,12 @@ fn bench_fig8(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(experiments, bench_fig5, bench_fig6, bench_fig7, bench_table2, bench_fig8);
+criterion_group!(
+    experiments,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_table2,
+    bench_fig8
+);
 criterion_main!(experiments);

@@ -95,9 +95,7 @@ fn bench_solver_ablation(c: &mut Criterion) {
     g.bench_function("milp_exact", |b| {
         b.iter(|| black_box(milp_window_solve(&prob, &cfg)))
     });
-    g.bench_function("greedy", |b| {
-        b.iter(|| black_box(greedy_solve(&prob, 4)))
-    });
+    g.bench_function("greedy", |b| b.iter(|| black_box(greedy_solve(&prob, 4))));
     g.finish();
 }
 

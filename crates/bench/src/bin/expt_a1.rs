@@ -9,16 +9,13 @@ fn main() {
     let cli = env_cli();
     println!("# ExptA-1 (Figure 5): RWL & runtime vs window size / perturbation range");
     println!("# design: aes_like, ClosedM1, alpha=1200, one DistOpt pair per point");
-    println!("{:>8} {:>4} {:>4} {:>12} {:>12} {:>10} {:>10}",
-        "bw(um)", "lx", "ly", "RWL(um)", "normRWL", "time(ms)", "normTime");
+    println!(
+        "{:>8} {:>4} {:>4} {:>12} {:>12} {:>10} {:>10}",
+        "bw(um)", "lx", "ly", "RWL(um)", "normRWL", "time(ms)", "normTime"
+    );
     let rows = expt_a1(cli.scale);
     let min_rwl = rows.iter().map(|r| r.rwl_um).fold(f64::INFINITY, f64::min);
-    let min_t = rows
-        .iter()
-        .map(|r| r.runtime_ms)
-        .min()
-        .unwrap_or(1)
-        .max(1) as f64;
+    let min_t = rows.iter().map(|r| r.runtime_ms).min().unwrap_or(1).max(1) as f64;
     for r in &rows {
         println!(
             "{:>8.1} {:>4} {:>4} {:>12.1} {:>12.4} {:>10} {:>10.2}",

@@ -26,7 +26,10 @@ fn main() {
             .iter()
             .min_by(|a, b| a.rwl_um.partial_cmp(&b.rwl_um).unwrap());
         if let Some(b) = best {
-            println!("# best RWL at alpha = {} (paper: 1200 ClosedM1 / 1000 OpenM1)", b.alpha);
+            println!(
+                "# best RWL at alpha = {} (paper: 1200 ClosedM1 / 1000 OpenM1)",
+                b.alpha
+            );
         }
         println!();
     }

@@ -7,10 +7,16 @@ use vm1_flow::experiments::expt_a3;
 fn main() {
     let cli = env_cli();
     println!("# ExptA-3 (Figure 7): five optimization sequences, aes_like ClosedM1");
-    println!("{:>3}  {:<48} {:>12} {:>10}", "id", "sequence (bw, lx, ly)", "RWL(um)", "time(ms)");
+    println!(
+        "{:>3}  {:<48} {:>12} {:>10}",
+        "id", "sequence (bw, lx, ly)", "RWL(um)", "time(ms)"
+    );
     let rows = expt_a3(cli.scale);
     for r in &rows {
-        println!("{:>3}  {:<48} {:>12.1} {:>10}", r.id, r.label, r.rwl_um, r.runtime_ms);
+        println!(
+            "{:>3}  {:<48} {:>12.1} {:>10}",
+            r.id, r.label, r.rwl_um, r.runtime_ms
+        );
     }
     println!();
     println!("# paper: sequences 1 and 2 (lx=4) give the best RWL; sequence 2 costs ~2x");

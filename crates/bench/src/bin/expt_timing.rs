@@ -8,7 +8,10 @@ fn main() {
     let cli = env_cli();
     println!("# Timing-driven extension: criticality boost vs final WNS (aes_like, ClosedM1,");
     println!("# clock tightened 3% below the initial critical path)");
-    println!("{:>8} {:>10} {:>8} {:>12}", "boost", "WNS(ns)", "#dM1", "RWL(um)");
+    println!(
+        "{:>8} {:>10} {:>8} {:>12}",
+        "boost", "WNS(ns)", "#dM1", "RWL(um)"
+    );
     for r in expt_timing_driven(cli.scale) {
         println!(
             "{:>8.1} {:>10.3} {:>8} {:>12.1}",

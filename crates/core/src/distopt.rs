@@ -9,12 +9,13 @@
 //! batches fixed (the documented CPLEX-scale substitution, DESIGN.md §5).
 
 use crate::problem::{Candidate, Overrides, WindowProblem};
-use crate::solver::solve_window;
+use crate::solver::solve_window_with;
 use crate::window::{Window, WindowGrid};
 use crate::Vm1Config;
 use std::collections::HashSet;
 use std::sync::Mutex;
 use vm1_netlist::{Design, InstId};
+use vm1_obs::{Counter, MetricsHandle, MetricsReport, Stage, Telemetry};
 use vm1_place::RowMap;
 
 /// Cache for the smart window selection: remembers problem-state digests
@@ -73,10 +74,11 @@ pub struct DistOptParams {
     pub flip: bool,
 }
 
-/// Statistics of one `DistOpt` call.
+/// Statistics of one `DistOpt` call — a *view* over the telemetry
+/// counters recorded during the pass (see [`DistOptStats::from_report`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DistOptStats {
-    /// Windows containing at least one movable cell.
+    /// Windows whose solve produced at least one cell move or flip.
     pub windows: usize,
     /// Total cells moved or flipped.
     pub cells_changed: usize,
@@ -86,71 +88,124 @@ pub struct DistOptStats {
     pub batches_skipped: usize,
 }
 
+impl DistOptStats {
+    /// Builds the stats view from recorded telemetry counters.
+    #[must_use]
+    pub fn from_report(r: &MetricsReport) -> DistOptStats {
+        DistOptStats {
+            windows: r.counter(Counter::WindowsImproved) as usize,
+            cells_changed: r.counter(Counter::CellsChanged) as usize,
+            rounds: r.counter(Counter::DistOptRounds) as usize,
+            batches_skipped: r.counter(Counter::CacheHits) as usize,
+        }
+    }
+}
+
 /// Runs one distributable optimization pass; mutates the placement.
 ///
 /// # Panics
 ///
 /// Panics if the resulting placement were illegal (this is a bug guard —
 /// window solutions are legal by construction).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Vm1Optimizer::new(cfg).run_pass(design, params)` instead"
+)]
 pub fn dist_opt(design: &mut Design, p: &DistOptParams, cfg: &Vm1Config) -> DistOptStats {
-    dist_opt_cached(design, p, cfg, None)
+    let telemetry = std::sync::Arc::new(Telemetry::new());
+    dist_opt_impl(design, p, cfg, None, &MetricsHandle::of(telemetry.clone()));
+    DistOptStats::from_report(&telemetry.report())
 }
 
 /// [`dist_opt`] with an optional smart window-selection cache shared
 /// across calls (the paper's improvement (ii) over the distributable
 /// optimization of Han et al.).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Vm1Optimizer::new(cfg).with_cache().run_pass(design, params)` instead"
+)]
 pub fn dist_opt_cached(
     design: &mut Design,
     p: &DistOptParams,
     cfg: &Vm1Config,
     cache: Option<&SolveCache>,
 ) -> DistOptStats {
+    let telemetry = std::sync::Arc::new(Telemetry::new());
+    dist_opt_impl(design, p, cfg, cache, &MetricsHandle::of(telemetry.clone()));
+    DistOptStats::from_report(&telemetry.report())
+}
+
+/// Algorithm 2 proper. All accounting goes through `metrics`; callers
+/// wanting a [`DistOptStats`] attach a [`Telemetry`] sink and build the
+/// view from its report.
+pub(crate) fn dist_opt_impl(
+    design: &mut Design,
+    p: &DistOptParams,
+    cfg: &Vm1Config,
+    cache: Option<&SolveCache>,
+    metrics: &MetricsHandle,
+) {
     let grid = WindowGrid::partition(design, p.tx, p.ty, p.bw_sites, p.bh_rows);
     let sets = grid.diagonal_sets();
-    let mut stats = DistOptStats {
-        rounds: sets.len(),
-        ..DistOptStats::default()
-    };
+    metrics.incr(Counter::DistOptPasses);
+    metrics.add(Counter::DistOptRounds, sets.len() as u64);
 
     for set in sets {
         // Snapshot occupancy for this round.
         let rowmap = RowMap::build(design);
         let windows: Vec<Window> = set.iter().map(|&i| grid.windows[i]).collect();
 
-        // Solve windows of the set in parallel.
+        // Solve windows of the set in parallel. The chunk partition is
+        // deterministic, so per-window outcomes (and therefore every
+        // counter total) are independent of thread scheduling.
         let design_ref: &Design = design;
         let rowmap_ref = &rowmap;
-        let mut results: Vec<(Vec<(InstId, Candidate)>, usize)> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        let mut results: Vec<WindowOutcome> = Vec::new();
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(windows.len());
             for chunk in windows.chunks(windows.len().div_ceil(cfg.threads.max(1)).max(1)) {
-                handles.push(scope.spawn(move |_| {
+                let worker_metrics = metrics.clone();
+                handles.push(scope.spawn(move || {
                     chunk
                         .iter()
-                        .map(|win| solve_one_window(design_ref, rowmap_ref, *win, p, cfg, cache))
+                        .map(|win| {
+                            solve_one_window(
+                                design_ref,
+                                rowmap_ref,
+                                *win,
+                                p,
+                                cfg,
+                                cache,
+                                &worker_metrics,
+                            )
+                        })
                         .collect::<Vec<_>>()
                 }));
             }
             for h in handles {
                 results.extend(h.join().expect("window solver thread panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
 
         // Commit (windows are disjoint, so order does not matter; keep it
-        // deterministic anyway).
-        for (moves, skipped) in results {
-            stats.batches_skipped += skipped;
-            if !moves.is_empty() {
-                stats.windows += 1;
+        // deterministic anyway). Counters are emitted from this single
+        // committing thread.
+        for outcome in results {
+            if outcome.visited {
+                metrics.incr(Counter::WindowsVisited);
             }
-            for (inst, cand) in moves {
+            metrics.add(Counter::CacheHits, outcome.batches_skipped as u64);
+            metrics.add(Counter::BatchesSolved, outcome.batches_solved as u64);
+            if !outcome.moves.is_empty() {
+                metrics.incr(Counter::WindowsImproved);
+            }
+            for (inst, cand) in outcome.moves {
                 let before = {
                     let i = design.inst(inst);
                     (i.site, i.row, i.orient)
                 };
                 if before != (cand.site, cand.row, cand.orient) {
-                    stats.cells_changed += 1;
+                    metrics.incr(Counter::CellsChanged);
                 }
                 design.move_inst(inst, cand.site, cand.row, cand.orient);
             }
@@ -161,11 +216,22 @@ pub fn dist_opt_cached(
         design.validate_placement().is_ok(),
         "DistOpt produced an illegal placement"
     );
-    stats
 }
 
-/// Solves one window (with batching); returns the moves to commit and the
-/// number of batches skipped via the cache.
+/// What happened inside one window.
+struct WindowOutcome {
+    /// Moves to commit (assignment of every cell in a changed batch).
+    moves: Vec<(InstId, Candidate)>,
+    /// Whether the window contained any movable cell.
+    visited: bool,
+    /// Batches handed to a window solver.
+    batches_solved: usize,
+    /// Batches skipped by the smart-selection cache.
+    batches_skipped: usize,
+}
+
+/// Solves one window (with batching); returns the moves to commit plus
+/// batch accounting for the metrics layer.
 fn solve_one_window(
     design: &Design,
     rowmap: &RowMap,
@@ -173,14 +239,19 @@ fn solve_one_window(
     p: &DistOptParams,
     cfg: &Vm1Config,
     cache: Option<&SolveCache>,
-) -> (Vec<(InstId, Candidate)>, usize) {
+    metrics: &MetricsHandle,
+) -> WindowOutcome {
     let mut overrides = Overrides::new();
     let movable = WindowProblem::movable_in_window(design, rowmap, &win, &overrides);
+    let mut outcome = WindowOutcome {
+        moves: Vec::new(),
+        visited: !movable.is_empty(),
+        batches_solved: 0,
+        batches_skipped: 0,
+    };
     if movable.is_empty() {
-        return (Vec::new(), 0);
+        return outcome;
     }
-    let mut moves = Vec::new();
-    let mut skipped = 0;
     for batch in movable.chunks(cfg.max_cells_per_milp.max(1)) {
         let prob = WindowProblem::build(
             design, rowmap, win, batch, p.lx, p.ly, p.flip, cfg, &overrides,
@@ -188,11 +259,14 @@ fn solve_one_window(
         let digest = prob.state_digest();
         if let Some(c) = cache {
             if c.known_no_gain(digest) {
-                skipped += 1;
+                outcome.batches_skipped += 1;
                 continue; // identical state solved before with no gain
             }
         }
-        let assign = solve_window(&prob, cfg);
+        outcome.batches_solved += 1;
+        let assign = metrics.timed(Stage::WindowSolve, || {
+            solve_window_with(&prob, cfg, metrics)
+        });
         if assign == prob.current_assign() {
             if let Some(c) = cache {
                 c.record_no_gain(digest);
@@ -202,16 +276,17 @@ fn solve_one_window(
         for (cell, &k) in prob.cells.iter().zip(&assign) {
             let cand = cell.cands[k];
             overrides.insert(cell.inst, cand);
-            moves.push((cell.inst, cand));
+            outcome.moves.push((cell.inst, cand));
         }
     }
-    (moves, skipped)
+    outcome
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::calculate_obj;
+    use crate::session::Vm1Optimizer;
     use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
     use vm1_place::{place, PlaceConfig};
     use vm1_tech::{CellArch, Library};
@@ -228,6 +303,14 @@ mod tests {
             Vm1Config::closedm1()
         };
         (d, cfg)
+    }
+
+    /// One uncached pass through the session API (what `dist_opt` used
+    /// to be).
+    fn pass(d: &mut Design, p: &DistOptParams, cfg: &Vm1Config) -> DistOptStats {
+        Vm1Optimizer::new(cfg.clone())
+            .without_cache()
+            .run_pass(d, p)
     }
 
     fn params(d: &Design) -> DistOptParams {
@@ -247,7 +330,7 @@ mod tests {
         let (mut d, cfg) = setup(CellArch::ClosedM1, 250, 1);
         let before = calculate_obj(&d, &cfg);
         let p = params(&d);
-        let stats = dist_opt(&mut d, &p, &cfg);
+        let stats = pass(&mut d, &p, &cfg);
         let after = calculate_obj(&d, &cfg);
         d.validate_placement().expect("legal after DistOpt");
         assert!(after.value <= before.value + 1e-6);
@@ -262,7 +345,7 @@ mod tests {
         let (mut d, cfg) = setup(CellArch::OpenM1, 250, 2);
         let before = calculate_obj(&d, &cfg);
         let p = params(&d);
-        dist_opt(&mut d, &p, &cfg);
+        pass(&mut d, &p, &cfg);
         let after = calculate_obj(&d, &cfg);
         d.validate_placement().unwrap();
         assert!(after.value <= before.value + 1e-6);
@@ -279,7 +362,7 @@ mod tests {
             flip: true,
             ..params(&d)
         };
-        dist_opt(&mut d, &p, &cfg);
+        pass(&mut d, &p, &cfg);
         for ((_, inst), before) in d.insts().zip(positions) {
             assert_eq!((inst.site, inst.row), before, "flip-only must not move");
         }
@@ -292,11 +375,21 @@ mod tests {
         let (mut d2, _) = setup(CellArch::ClosedM1, 200, 4);
         let p1 = params(&d1);
         let p2 = params(&d2);
-        dist_opt(&mut d1, &p1, &cfg);
-        dist_opt(&mut d2, &p2, &cfg);
+        let t1 = std::sync::Arc::new(Telemetry::new());
+        let t2 = std::sync::Arc::new(Telemetry::new());
+        dist_opt_impl(&mut d1, &p1, &cfg, None, &MetricsHandle::of(t1.clone()));
+        dist_opt_impl(&mut d2, &p2, &cfg, None, &MetricsHandle::of(t2.clone()));
         for ((_, a), (_, b)) in d1.insts().zip(d2.insts()) {
             assert_eq!((a.site, a.row, a.orient), (b.site, b.row, b.orient));
         }
+        // Counters track algorithmic events only, so a repeated run must
+        // reproduce every one of them exactly (stage *times* may differ).
+        let (r1, r2) = (t1.report(), t2.report());
+        for c in Counter::ALL {
+            assert_eq!(r1.counter(c), r2.counter(c), "counter {}", c.name());
+        }
+        assert!(r1.counter(Counter::BatchesSolved) > 0);
+        assert!(r1.counter(Counter::DfsNodes) > 0, "default solver is DFS");
     }
 
     #[test]
@@ -307,7 +400,7 @@ mod tests {
         let cfg = cfg.with_alpha(0.0);
         let before = d.total_hpwl();
         let p = params(&d);
-        dist_opt(&mut d, &p, &cfg);
+        pass(&mut d, &p, &cfg);
         assert!(d.total_hpwl() <= before);
     }
 }

@@ -27,13 +27,15 @@
 //!   selection (Fig. 3) for the distributable optimization;
 //! * [`distopt`] — Algorithm 2 (DistOpt), with windows of one diagonal set
 //!   solved in parallel;
-//! * [`vm1opt`] — Algorithm 1 (VM1Opt), the metaheuristic outer loop over
-//!   a queue of parameter sets with the perturb-then-flip schedule.
+//! * [`session`] — Algorithm 1 (VM1Opt) behind the [`Vm1Optimizer`]
+//!   session API: the metaheuristic outer loop over a queue of parameter
+//!   sets with the perturb-then-flip schedule, owning the solve cache and
+//!   the metrics sinks (`vm1-obs`).
 //!
 //! # Examples
 //!
 //! ```
-//! use vm1_core::{vm1opt, ParamSet, Vm1Config};
+//! use vm1_core::{ParamSet, Vm1Config, Vm1Optimizer};
 //! use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
 //! use vm1_place::{place, PlaceConfig};
 //! use vm1_tech::{CellArch, Library};
@@ -45,7 +47,7 @@
 //! place(&mut d, &PlaceConfig::default(), 1);
 //! let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(5.0, 3, 1)]);
 //! let before = vm1_core::count_alignments(&d, &cfg);
-//! let stats = vm1opt(&mut d, &cfg);
+//! let stats = Vm1Optimizer::new(cfg).run(&mut d);
 //! assert!(stats.final_alignments >= before);
 //! d.validate_placement().unwrap();
 //! ```
@@ -58,12 +60,16 @@ pub mod milp;
 mod objective;
 mod pairs;
 pub mod problem;
+pub mod session;
 pub mod solver;
 pub mod window;
-mod vm1opt_impl;
 
 pub use config::{ParamSet, SolverKind, Vm1Config};
+#[allow(deprecated)]
+pub use distopt::{dist_opt, dist_opt_cached};
+pub use distopt::{DistOptParams, DistOptStats, SolveCache};
 pub use objective::{calculate_obj, count_alignments, overlap_stats, Objective};
 pub use pairs::{alignable_pairs, pair_aligned, PinPairs};
-pub use distopt::{dist_opt, dist_opt_cached, DistOptParams, DistOptStats, SolveCache};
-pub use vm1opt_impl::{vm1opt, OptStats};
+#[allow(deprecated)]
+pub use session::vm1opt;
+pub use session::{OptStats, Vm1Optimizer};

@@ -46,10 +46,7 @@ pub fn build_milp(prob: &WindowProblem) -> (Model, MilpVars) {
         let vars: Vec<VarId> = (0..cell.cands.len())
             .map(|k| m.add_binary(&format!("l_{c}_{k}")))
             .collect();
-        m.add_eq(
-            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
-            1.0,
-        );
+        m.add_eq(vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(), 1.0);
         m.add_sos1(vars.clone());
         lambda.push(vars);
     }
@@ -106,7 +103,13 @@ pub fn build_milp(prob: &WindowProblem) -> (Model, MilpVars) {
         let w = m.add_continuous(&format!("w_{n}"), 0.0, (xh - xl) + (yh - yl));
         // (2): w = xmax - xmin + ymax - ymin.
         m.add_eq(
-            [(w, 1.0), (xmax, -1.0), (xmin, 1.0), (ymax, -1.0), (ymin, 1.0)],
+            [
+                (w, 1.0),
+                (xmax, -1.0),
+                (xmin, 1.0),
+                (ymax, -1.0),
+                (ymin, 1.0),
+            ],
             0.0,
         );
         // (3) for fixed pins: constants tighten the bounds directly.
@@ -160,14 +163,7 @@ pub fn build_milp(prob: &WindowProblem) -> (Model, MilpVars) {
         // Δy constraints shared by both architectures: when d = 1, pins
         // must lie within γ·H vertically.
         let gy = (ya_rng.1 - yb_rng.0).max(yb_rng.1 - ya_rng.0).max(0) as f64;
-        add_indicator_abs_le(
-            &mut m,
-            &ya_terms,
-            &yb_terms,
-            d,
-            prob.gamma_span as f64,
-            gy,
-        );
+        add_indicator_abs_le(&mut m, &ya_terms, &yb_terms, d, prob.gamma_span as f64, gy);
 
         if prob.exact {
             // ClosedM1 constraint (4): d = 1 forces x_p == x_q.
@@ -188,7 +184,12 @@ pub fn build_milp(prob: &WindowProblem) -> (Model, MilpVars) {
             let b = m.add_continuous(&format!("b_{pi}"), b_lo.min(b_hi), b_hi);
             // (11): a ≥ lo_p, a ≥ lo_q; b ≤ hi_p, b ≤ hi_q —
             //   a - Σ lo_terms ≥ lo_const, etc.
-            for (var, expr, ge) in [(a, &lo_a, true), (a, &lo_b, true), (b, &hi_a, false), (b, &hi_b, false)] {
+            for (var, expr, ge) in [
+                (a, &lo_a, true),
+                (a, &lo_b, true),
+                (b, &hi_a, false),
+                (b, &hi_b, false),
+            ] {
                 let mut e = vec![(var, 1.0)];
                 for &(v, c) in &expr.0 {
                     e.push((v, -c));
@@ -279,9 +280,7 @@ pub fn warm_start(
             let g = prob.pin_geo[cell][assign[cell]][slot];
             bb = Some(match bb {
                 None => (g.x, g.y, g.x, g.y),
-                Some((x0, y0, x1, y1)) => {
-                    (x0.min(g.x), y0.min(g.y), x1.max(g.x), y1.max(g.y))
-                }
+                Some((x0, y0, x1, y1)) => (x0.min(g.x), y0.min(g.y), x1.max(g.x), y1.max(g.y)),
             });
         }
         let (x0, y0, x1, y1) = bb.unwrap_or((0, 0, 0, 0));
@@ -309,7 +308,11 @@ pub fn warm_start(
             x[v_var.index()] = f64::from(!within_y);
             x[a_var.index()] = a as f64;
             x[b_var.index()] = b as f64;
-            x[o_var.index()] = if aligned { (ov - prob.delta) as f64 } else { 0.0 };
+            x[o_var.index()] = if aligned {
+                (ov - prob.delta) as f64
+            } else {
+                0.0
+            };
         }
     }
     x
@@ -372,14 +375,7 @@ fn diff_terms(a: &Terms, b: &Terms, out: &mut Vec<(VarId, f64)>, constant: &mut 
 
 /// Adds `|expr_a - expr_b| ≤ bound + G(1-d)` (the indicator form of
 /// constraints (4)/(12) with tight `G`).
-fn add_indicator_abs_le(
-    m: &mut Model,
-    a: &Terms,
-    b: &Terms,
-    d: VarId,
-    bound: f64,
-    g: f64,
-) {
+fn add_indicator_abs_le(m: &mut Model, a: &Terms, b: &Terms, d: VarId, bound: f64, g: f64) {
     let mut terms = Vec::new();
     let mut c = 0.0;
     diff_terms(a, b, &mut terms, &mut c);

@@ -30,9 +30,8 @@ pub fn calculate_obj(design: &Design, cfg: &Vm1Config) -> Objective {
         .map(|(id, _)| cfg.net_weight(id) * design.net_hpwl(id).nm() as f64)
         .sum();
     let (alignments, overlap_sum) = overlap_stats(design, cfg);
-    let value = weighted_hpwl
-        - cfg.alpha * alignments as f64
-        - cfg.epsilon * overlap_sum.nm() as f64;
+    let value =
+        weighted_hpwl - cfg.alpha * alignments as f64 - cfg.epsilon * overlap_sum.nm() as f64;
     Objective {
         hpwl,
         alignments,
@@ -81,8 +80,7 @@ mod tests {
         let obj = calculate_obj(&d, &cfg);
         assert_eq!(obj.hpwl, d.total_hpwl());
         assert_eq!(obj.alignments, count_alignments(&d, &cfg));
-        let expect =
-            obj.hpwl.nm() as f64 - cfg.alpha * obj.alignments as f64;
+        let expect = obj.hpwl.nm() as f64 - cfg.alpha * obj.alignments as f64;
         assert!((obj.value - expect).abs() < 1e-9);
     }
 

@@ -150,8 +150,14 @@ mod tests {
         // ZN at cell col 2, A at cell col 1: site_b = site_a + 1 aligns.
         d.move_inst(a, 5, 0, Orient::North);
         d.move_inst(b, 6, 1, Orient::North);
-        let zn = PinRef { inst: a, pin: d.library().cell(inv).pin_index("ZN").unwrap() };
-        let pa = PinRef { inst: b, pin: d.library().cell(inv).pin_index("A").unwrap() };
+        let zn = PinRef {
+            inst: a,
+            pin: d.library().cell(inv).pin_index("ZN").unwrap(),
+        };
+        let pa = PinRef {
+            inst: b,
+            pin: d.library().cell(inv).pin_index("A").unwrap(),
+        };
         assert_eq!(pair_aligned(&d, &cfg, zn, pa), Some(Dbu(0)));
         // Misaligned by one site.
         d.move_inst(b, 7, 1, Orient::North);
@@ -175,8 +181,14 @@ mod tests {
         d.connect(a, "ZN", n);
         d.connect(b, "A", n);
         let cfg = Vm1Config::openm1();
-        let zn = PinRef { inst: a, pin: d.library().cell(inv).pin_index("ZN").unwrap() };
-        let pa = PinRef { inst: b, pin: d.library().cell(inv).pin_index("A").unwrap() };
+        let zn = PinRef {
+            inst: a,
+            pin: d.library().cell(inv).pin_index("ZN").unwrap(),
+        };
+        let pa = PinRef {
+            inst: b,
+            pin: d.library().cell(inv).pin_index("A").unwrap(),
+        };
         // Overlapping placement: ZN spans cols [1,4) of a, A spans [0,2) of b.
         d.move_inst(a, 5, 0, Orient::North);
         d.move_inst(b, 7, 1, Orient::North);

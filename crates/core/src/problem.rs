@@ -148,9 +148,9 @@ fn geo_of(design: &Design, cand: Candidate, pr: PinRef) -> PinGeo {
     let pin = &cell.pins[pr.pin];
     let ox = tech.site_to_x(cand.site).nm();
     let oy = tech.row_to_y(cand.row).nm();
-    let (lo, hi) = cand
-        .orient
-        .apply_x_range(pin.shape.rect.lo().x, pin.shape.rect.hi().x, cell.width);
+    let (lo, hi) =
+        cand.orient
+            .apply_x_range(pin.shape.rect.lo().x, pin.shape.rect.hi().x, cell.width);
     PinGeo {
         x: ox + pin.x_center(cand.orient, cell.width).nm(),
         y: oy + pin.y_center().nm(),
@@ -186,11 +186,8 @@ impl WindowProblem {
         let gamma_span = (tech.row_height * cfg.gamma).nm();
         let delta = cfg.delta.nm();
 
-        let movable_set: HashMap<InstId, usize> = movable
-            .iter()
-            .enumerate()
-            .map(|(k, &id)| (id, k))
-            .collect();
+        let movable_set: HashMap<InstId, usize> =
+            movable.iter().enumerate().map(|(k, &id)| (id, k)).collect();
 
         // ---- occupancy -------------------------------------------------
         let mut occupied = vec![false; (window.w_sites * window.h_rows) as usize];
@@ -212,7 +209,7 @@ impl WindowProblem {
                 seen.entry(id).or_insert(());
             }
         }
-        for (&id, _) in &seen {
+        for &id in seen.keys() {
             if movable_set.contains_key(&id) {
                 continue;
             }
@@ -278,9 +275,9 @@ impl WindowProblem {
         let mut slot_of: Vec<HashMap<usize, usize>> = vec![HashMap::new(); cells.len()];
         let mut slot_pins: Vec<Vec<usize>> = vec![Vec::new(); cells.len()];
         let intern = |cell: usize,
-                          pin: usize,
-                          slot_of: &mut Vec<HashMap<usize, usize>>,
-                          slot_pins: &mut Vec<Vec<usize>>| {
+                      pin: usize,
+                      slot_of: &mut Vec<HashMap<usize, usize>>,
+                      slot_pins: &mut Vec<Vec<usize>>| {
             *slot_of[cell].entry(pin).or_insert_with(|| {
                 slot_pins[cell].push(pin);
                 slot_pins[cell].len() - 1
@@ -364,7 +361,9 @@ impl WindowProblem {
                             let slot = intern(cell, pr.pin, slot_of, slot_pins);
                             End::Movable { cell, slot }
                         }
-                        None => End::Fixed(geo_of(design, view_pos(design, overrides, pr.inst), pr)),
+                        None => {
+                            End::Fixed(geo_of(design, view_pos(design, overrides, pr.inst), pr))
+                        }
                     }
                 };
                 let a = mk_end(p, pm, &mut slot_of, &mut slot_pins);
@@ -384,7 +383,16 @@ impl WindowProblem {
             for &cand in &cell.cands {
                 let geos: Vec<PinGeo> = slot_pins[k]
                     .iter()
-                    .map(|&pin| geo_of(design, cand, PinRef { inst: cell.inst, pin }))
+                    .map(|&pin| {
+                        geo_of(
+                            design,
+                            cand,
+                            PinRef {
+                                inst: cell.inst,
+                                pin,
+                            },
+                        )
+                    })
                     .collect();
                 per_cand.push(geos);
             }
@@ -574,9 +582,7 @@ impl WindowProblem {
             let g = self.pin_geo[cell][assign[cell]][slot];
             bb = Some(match bb {
                 None => (g.x, g.y, g.x, g.y),
-                Some((x0, y0, x1, y1)) => {
-                    (x0.min(g.x), y0.min(g.y), x1.max(g.x), y1.max(g.y))
-                }
+                Some((x0, y0, x1, y1)) => (x0.min(g.x), y0.min(g.y), x1.max(g.x), y1.max(g.y)),
             });
         }
         bb.map_or(0, |(x0, y0, x1, y1)| (x1 - x0) + (y1 - y0))
@@ -609,7 +615,9 @@ impl WindowProblem {
             })
             .collect();
         spans.sort_unstable();
-        spans.windows(2).all(|w| w[0].0 != w[1].0 || w[0].2 <= w[1].1)
+        spans
+            .windows(2)
+            .all(|w| w[0].0 != w[1].0 || w[0].2 <= w[1].1)
     }
 
     /// Applies an assignment to the design and records it in `overrides`.
@@ -693,17 +701,8 @@ mod tests {
         let win = first_window(&d);
         let movable = WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new());
         assert!(!movable.is_empty());
-        let prob = WindowProblem::build(
-            &d,
-            &rm,
-            win,
-            &movable,
-            3,
-            1,
-            false,
-            &cfg,
-            &Overrides::new(),
-        );
+        let prob =
+            WindowProblem::build(&d, &rm, win, &movable, 3, 1, false, &cfg, &Overrides::new());
         assert_eq!(prob.cells.len(), movable.len());
         // Current assignment is always legal and matches the design.
         let cur = prob.current_assign();
@@ -723,17 +722,8 @@ mod tests {
         let rm = RowMap::build(&d);
         let win = first_window(&d);
         let movable = WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new());
-        let prob = WindowProblem::build(
-            &d,
-            &rm,
-            win,
-            &movable,
-            3,
-            1,
-            true,
-            &cfg,
-            &Overrides::new(),
-        );
+        let prob =
+            WindowProblem::build(&d, &rm, win, &movable, 3, 1, true, &cfg, &Overrides::new());
         let cur = prob.current_assign();
         let g0 = crate::calculate_obj(&d, &cfg).value;
         let l0 = prob.eval(&cur);
@@ -766,17 +756,8 @@ mod tests {
         let rm = RowMap::build(&d);
         let win = first_window(&d);
         let movable = WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new());
-        let prob = WindowProblem::build(
-            &d,
-            &rm,
-            win,
-            &movable,
-            2,
-            1,
-            false,
-            &cfg,
-            &Overrides::new(),
-        );
+        let prob =
+            WindowProblem::build(&d, &rm, win, &movable, 2, 1, false, &cfg, &Overrides::new());
         for c in &prob.cells {
             let cur = c.cands[c.current];
             for cand in &c.cands {
@@ -794,17 +775,8 @@ mod tests {
         let rm = RowMap::build(&d);
         let win = first_window(&d);
         let movable = WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new());
-        let prob = WindowProblem::build(
-            &d,
-            &rm,
-            win,
-            &movable,
-            0,
-            0,
-            true,
-            &cfg,
-            &Overrides::new(),
-        );
+        let prob =
+            WindowProblem::build(&d, &rm, win, &movable, 0, 0, true, &cfg, &Overrides::new());
         for c in &prob.cells {
             assert!(c.cands.len() <= 2);
             let cur = c.cands[c.current];
@@ -825,17 +797,8 @@ mod tests {
             h_rows: d.num_rows,
         };
         let movable = WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new());
-        let prob = WindowProblem::build(
-            &d,
-            &rm,
-            win,
-            &movable,
-            3,
-            1,
-            false,
-            &cfg,
-            &Overrides::new(),
-        );
+        let prob =
+            WindowProblem::build(&d, &rm, win, &movable, 3, 1, false, &cfg, &Overrides::new());
         assert!(!prob.pairs.is_empty());
         for p in &prob.pairs {
             assert!(p.max_bonus >= cfg.alpha);

@@ -1,0 +1,539 @@
+//! The [`Vm1Optimizer`] session — Algorithm 1 (`VM1Opt`) behind a
+//! builder-style API that owns the solve cache, the configuration, and
+//! the metrics sinks.
+//!
+//! For each parameter set `u` in the queue `U`, the loop alternates a
+//! *perturbation* `DistOpt` (positions within `±lx/±ly`, no flips) with a
+//! *flip* `DistOpt` (orientations only) — the paper found this serial
+//! schedule as good as, and faster than, optimizing both degrees of
+//! freedom simultaneously — then shifts the window grid by half a window
+//! so the next iteration can optimize the previous boundary regions. The
+//! inner loop stops when the normalized objective improvement drops below
+//! θ (1 %).
+//!
+//! Every run records into a run-local [`Telemetry`] sink (kept as
+//! [`Vm1Optimizer::last_report`]) plus any user sinks attached with
+//! [`Vm1Optimizer::with_metrics`]; [`OptStats`] is a view over those
+//! counters, so the session and the report can never disagree.
+
+use crate::distopt::{dist_opt_impl, DistOptParams, DistOptStats, SolveCache};
+use crate::objective::{calculate_obj, Objective};
+use crate::Vm1Config;
+use std::sync::Arc;
+use std::time::Instant;
+use vm1_netlist::Design;
+use vm1_obs::{
+    Counter, MetricsHandle, MetricsReport, MetricsSink, Stage, Telemetry, TrajectoryPoint,
+};
+
+/// Statistics of one optimizer run — a view over the run's telemetry
+/// counters plus the objective snapshots taken before and after.
+#[derive(Clone, Debug, Default)]
+pub struct OptStats {
+    /// Objective before optimization.
+    pub initial_obj: f64,
+    /// Objective after optimization.
+    pub final_obj: f64,
+    /// HPWL before (nm).
+    pub initial_hpwl: i64,
+    /// HPWL after (nm).
+    pub final_hpwl: i64,
+    /// Σ d_pq before.
+    pub initial_alignments: usize,
+    /// Σ d_pq after.
+    pub final_alignments: usize,
+    /// Inner iterations executed over all parameter sets.
+    pub iterations: usize,
+    /// Total cells moved or flipped.
+    pub cells_changed: usize,
+    /// Window batches skipped by the smart selection cache.
+    pub batches_skipped: usize,
+    /// Wall-clock runtime in milliseconds.
+    pub runtime_ms: u64,
+}
+
+impl OptStats {
+    /// Builds the stats view from a run's telemetry report and its
+    /// boundary objective snapshots.
+    #[must_use]
+    pub fn from_report(r: &MetricsReport, initial: &Objective, fin: &Objective) -> OptStats {
+        OptStats {
+            initial_obj: initial.value,
+            final_obj: fin.value,
+            initial_hpwl: initial.hpwl.nm(),
+            final_hpwl: fin.hpwl.nm(),
+            initial_alignments: initial.alignments,
+            final_alignments: fin.alignments,
+            iterations: r.counter(Counter::Iterations) as usize,
+            cells_changed: r.counter(Counter::CellsChanged) as usize,
+            batches_skipped: r.counter(Counter::CacheHits) as usize,
+            runtime_ms: (r.stage_nanos(Stage::Vm1Opt) / 1_000_000),
+        }
+    }
+}
+
+/// A reusable optimization session: configuration + smart-selection cache
+/// + metrics sinks.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vm1_core::{ParamSet, Vm1Config, Vm1Optimizer};
+/// use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+/// use vm1_obs::Telemetry;
+/// use vm1_place::{place, PlaceConfig};
+/// use vm1_tech::{CellArch, Library};
+///
+/// let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+/// let mut d = GeneratorConfig::profile(DesignProfile::M0)
+///     .with_insts(120)
+///     .generate(&lib, 1);
+/// place(&mut d, &PlaceConfig::default(), 1);
+/// let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(4.0, 3, 1)]);
+/// let sink = Arc::new(Telemetry::new());
+/// let mut opt = Vm1Optimizer::new(cfg).with_cache().with_metrics(sink.clone());
+/// let stats = opt.run(&mut d);
+/// assert!(stats.final_obj <= stats.initial_obj + 1e-6);
+/// assert_eq!(
+///     sink.report().counter(vm1_obs::Counter::Iterations) as usize,
+///     stats.iterations
+/// );
+/// ```
+#[derive(Debug)]
+pub struct Vm1Optimizer {
+    cfg: Vm1Config,
+    cache: Option<SolveCache>,
+    user_metrics: MetricsHandle,
+    last_report: Option<MetricsReport>,
+}
+
+impl Vm1Optimizer {
+    /// Creates a session. The smart-selection cache follows
+    /// `cfg.smart_window_selection` (override with [`Self::with_cache`] /
+    /// [`Self::without_cache`]).
+    #[must_use]
+    pub fn new(cfg: Vm1Config) -> Vm1Optimizer {
+        let cache = cfg.smart_window_selection.then(SolveCache::new);
+        Vm1Optimizer {
+            cfg,
+            cache,
+            user_metrics: MetricsHandle::disabled(),
+            last_report: None,
+        }
+    }
+
+    /// Enables the smart window-selection cache (paper improvement (ii)).
+    /// The cache is owned by the session, so it persists across
+    /// [`Self::run`] calls.
+    #[must_use]
+    pub fn with_cache(mut self) -> Vm1Optimizer {
+        if self.cache.is_none() {
+            self.cache = Some(SolveCache::new());
+        }
+        self
+    }
+
+    /// Disables the smart window-selection cache.
+    #[must_use]
+    pub fn without_cache(mut self) -> Vm1Optimizer {
+        self.cache = None;
+        self
+    }
+
+    /// Attaches a metrics sink; may be called repeatedly to fan out.
+    #[must_use]
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Vm1Optimizer {
+        self.user_metrics = self.user_metrics.and(sink);
+        self
+    }
+
+    /// The session configuration.
+    #[must_use]
+    pub fn config(&self) -> &Vm1Config {
+        &self.cfg
+    }
+
+    /// The session's solve cache, if enabled.
+    #[must_use]
+    pub fn cache(&self) -> Option<&SolveCache> {
+        self.cache.as_ref()
+    }
+
+    /// Telemetry report of the most recent [`Self::run`] /
+    /// [`Self::run_pass`] (counters, stage times, objective trajectory).
+    #[must_use]
+    pub fn last_report(&self) -> Option<&MetricsReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Runs the full vertical-M1 detailed-placement optimization
+    /// (Algorithm 1) on `design` with the queue `cfg.sequence`.
+    ///
+    /// The placement is modified in place and stays legal; returns run
+    /// statistics.
+    pub fn run(&mut self, design: &mut Design) -> OptStats {
+        let start = Instant::now();
+        let telemetry = Arc::new(Telemetry::new());
+        let metrics = self.user_metrics.and(telemetry.clone());
+        let cfg = &self.cfg;
+        let cache = self.cache.as_ref();
+        let tech = design.library().tech();
+        let site = tech.site_width.nm() as f64;
+        let row = tech.row_height.nm() as f64;
+
+        let initial = metrics.timed(Stage::ObjectiveEval, || calculate_obj(design, cfg));
+        let mut cur = initial;
+
+        for (ui, u) in cfg.sequence.iter().enumerate() {
+            metrics.incr(Counter::ParamSets);
+            let bw_sites = ((u.bw_um * 1000.0 / site).round() as i64).max(4);
+            let bh_rows = ((u.bh_um * 1000.0 / row).round() as i64).max(1);
+            let mut tx = 0i64;
+            let mut ty = 0i64;
+            let mut d_obj = f64::INFINITY;
+            let mut inner = 0usize;
+            metrics.record_point(TrajectoryPoint {
+                param_set: ui,
+                iteration: 0,
+                objective: cur.value,
+                hpwl_nm: cur.hpwl.nm(),
+                alignments: cur.alignments,
+            });
+            while d_obj >= cfg.theta && inner < cfg.max_inner_iters {
+                let pre_obj = cur.value;
+                // Perturbation pass (f = 0).
+                let perturb = DistOptParams {
+                    tx,
+                    ty,
+                    bw_sites,
+                    bh_rows,
+                    lx: u.lx,
+                    ly: u.ly,
+                    flip: false,
+                };
+                metrics.timed(Stage::Perturb, || {
+                    dist_opt_impl(design, &perturb, cfg, cache, &metrics);
+                });
+                // Flip pass (f = 1, no displacement).
+                let flip = DistOptParams {
+                    tx,
+                    ty,
+                    bw_sites,
+                    bh_rows,
+                    lx: 0,
+                    ly: 0,
+                    flip: true,
+                };
+                metrics.timed(Stage::Flip, || {
+                    dist_opt_impl(design, &flip, cfg, cache, &metrics);
+                });
+                // Window shift: expose the previous boundary regions.
+                tx = (tx + bw_sites / 2).rem_euclid(bw_sites);
+                ty = (ty + (bh_rows / 2).max(1)).rem_euclid(bh_rows.max(1));
+
+                cur = metrics.timed(Stage::ObjectiveEval, || calculate_obj(design, cfg));
+                let denom = pre_obj.abs().max(1.0);
+                d_obj = (pre_obj - cur.value) / denom;
+                inner += 1;
+                metrics.incr(Counter::Iterations);
+                metrics.record_point(TrajectoryPoint {
+                    param_set: ui,
+                    iteration: inner,
+                    objective: cur.value,
+                    hpwl_nm: cur.hpwl.nm(),
+                    alignments: cur.alignments,
+                });
+            }
+        }
+
+        metrics.record_time(Stage::Vm1Opt, start.elapsed().as_nanos() as u64);
+        let report = telemetry.report();
+        let mut stats = OptStats::from_report(&report, &initial, &cur);
+        stats.runtime_ms = start.elapsed().as_millis() as u64;
+        self.last_report = Some(report);
+        stats
+    }
+
+    /// Runs a single `DistOpt` pass (Algorithm 2) through the session —
+    /// the session's cache and sinks apply, and [`Self::last_report`] is
+    /// replaced with this pass's telemetry.
+    pub fn run_pass(&mut self, design: &mut Design, p: &DistOptParams) -> DistOptStats {
+        let telemetry = Arc::new(Telemetry::new());
+        let metrics = self.user_metrics.and(telemetry.clone());
+        dist_opt_impl(design, p, &self.cfg, self.cache.as_ref(), &metrics);
+        let report = telemetry.report();
+        let stats = DistOptStats::from_report(&report);
+        self.last_report = Some(report);
+        stats
+    }
+}
+
+/// Runs the full vertical-M1 detailed-placement optimization (Algorithm 1)
+/// on `design` with the queue `cfg.sequence`.
+///
+/// The placement is modified in place and stays legal; returns run
+/// statistics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Vm1Optimizer::new(cfg.clone()).run(design)` instead"
+)]
+pub fn vm1opt(design: &mut Design, cfg: &Vm1Config) -> OptStats {
+    Vm1Optimizer::new(cfg.clone()).run(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParamSet, SolverKind};
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_place::{place, PlaceConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn setup(arch: CellArch, n: usize, seed: u64) -> Design {
+        let lib = Library::synthetic_7nm(arch);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(n)
+            .generate(&lib, seed);
+        place(&mut d, &PlaceConfig::default(), seed);
+        d
+    }
+
+    use vm1_netlist::Design;
+
+    #[test]
+    fn vm1opt_closedm1_increases_alignments() {
+        let mut d = setup(CellArch::ClosedM1, 250, 1);
+        let cfg = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let stats = Vm1Optimizer::new(cfg).run(&mut d);
+        d.validate_placement().expect("legal after VM1Opt");
+        assert!(stats.final_obj <= stats.initial_obj + 1e-6);
+        assert!(
+            stats.final_alignments > stats.initial_alignments,
+            "alignments {} -> {}",
+            stats.initial_alignments,
+            stats.final_alignments
+        );
+        assert!(stats.iterations >= 1);
+    }
+
+    #[test]
+    fn vm1opt_openm1_works() {
+        let mut d = setup(CellArch::OpenM1, 250, 2);
+        let cfg = crate::Vm1Config::openm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let stats = Vm1Optimizer::new(cfg).run(&mut d);
+        d.validate_placement().unwrap();
+        assert!(stats.final_alignments >= stats.initial_alignments);
+    }
+
+    #[test]
+    fn zero_alpha_reduces_to_wirelength_optimizer() {
+        let mut d = setup(CellArch::ClosedM1, 200, 3);
+        let cfg = crate::Vm1Config::closedm1()
+            .with_alpha(0.0)
+            .with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let stats = Vm1Optimizer::new(cfg).run(&mut d);
+        assert!(stats.final_hpwl <= stats.initial_hpwl);
+    }
+
+    #[test]
+    fn multi_set_sequence_runs_all_sets() {
+        let mut d = setup(CellArch::ClosedM1, 150, 4);
+        let cfg = crate::Vm1Config::closedm1()
+            .with_sequence(vec![ParamSet::new(2.0, 2, 1), ParamSet::new(4.0, 2, 0)]);
+        let mut opt = Vm1Optimizer::new(cfg);
+        let stats = opt.run(&mut d);
+        d.validate_placement().unwrap();
+        assert!(stats.iterations >= 2, "at least one iteration per set");
+        let report = opt.last_report().expect("run leaves a report");
+        assert_eq!(report.counter(Counter::ParamSets), 2);
+        assert_eq!(
+            report.counter(Counter::Iterations) as usize,
+            stats.iterations
+        );
+    }
+
+    #[test]
+    fn greedy_solver_variant_is_legal_but_weaker_or_equal() {
+        let mut d_exact = setup(CellArch::ClosedM1, 200, 5);
+        let mut d_greedy = d_exact.clone();
+        let cfg_e = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let cfg_g = cfg_e.clone().with_solver(SolverKind::Greedy);
+        let se = Vm1Optimizer::new(cfg_e).run(&mut d_exact);
+        let sg = Vm1Optimizer::new(cfg_g).run(&mut d_greedy);
+        d_greedy.validate_placement().unwrap();
+        assert!(se.final_obj <= sg.final_obj + 1e-6, "exact ≤ greedy");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        // The free functions must keep producing the same result as the
+        // session API so downstream code can migrate at leisure.
+        let mut d_old = setup(CellArch::ClosedM1, 150, 6);
+        let mut d_new = d_old.clone();
+        let cfg = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 2, 1)]);
+        let s_old = vm1opt(&mut d_old, &cfg);
+        let s_new = Vm1Optimizer::new(cfg).run(&mut d_new);
+        for ((_, a), (_, b)) in d_old.insts().zip(d_new.insts()) {
+            assert_eq!((a.site, a.row, a.orient), (b.site, b.row, b.orient));
+        }
+        assert_eq!(s_old.final_obj, s_new.final_obj);
+        assert_eq!(s_old.iterations, s_new.iterations);
+        assert_eq!(s_old.cells_changed, s_new.cells_changed);
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use crate::ParamSet;
+    use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+    use vm1_netlist::Design;
+    use vm1_place::{place, PlaceConfig};
+    use vm1_tech::{CellArch, Library};
+
+    fn setup(seed: u64) -> Design {
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let mut d = GeneratorConfig::profile(DesignProfile::M0)
+            .with_insts(220)
+            .generate(&lib, seed);
+        place(&mut d, &PlaceConfig::default(), seed);
+        d
+    }
+
+    #[test]
+    fn smart_selection_preserves_results_exactly() {
+        // The cache only skips deterministic re-solves of identical
+        // states, so the final placement must be bit-identical.
+        let mut with = setup(11);
+        let mut without = with.clone();
+        let seq = vec![ParamSet::new(3.0, 3, 1)];
+        let mut cfg = crate::Vm1Config::closedm1().with_sequence(seq);
+        // Force a fixed number of iterations so both runs share the exact
+        // schedule and windows repeat (making the cache observable).
+        cfg.theta = -1.0;
+        cfg.max_inner_iters = 5;
+        let s_on = Vm1Optimizer::new(cfg.clone()).with_cache().run(&mut with);
+        let s_off = Vm1Optimizer::new(cfg).without_cache().run(&mut without);
+        for ((_, a), (_, b)) in with.insts().zip(without.insts()) {
+            assert_eq!((a.site, a.row, a.orient), (b.site, b.row, b.orient));
+        }
+        assert_eq!(s_on.final_obj, s_off.final_obj);
+        assert_eq!(s_off.batches_skipped, 0, "cache off skips nothing");
+    }
+
+    #[test]
+    fn cache_fires_once_windows_stabilize() {
+        let mut d = setup(11);
+        let cfg = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let mut opt = Vm1Optimizer::new(cfg).with_cache();
+        let p = DistOptParams {
+            tx: 0,
+            ty: 0,
+            bw_sites: 62,
+            bh_rows: 8,
+            lx: 3,
+            ly: 1,
+            flip: false,
+        };
+        let mut total_skipped = 0;
+        for _ in 0..5 {
+            total_skipped += opt.run_pass(&mut d, &p).batches_skipped;
+        }
+        assert!(
+            !opt.cache().expect("cache enabled").is_empty(),
+            "no-gain states get recorded"
+        );
+        assert!(
+            total_skipped > 0,
+            "re-solving an identical window grid must hit the cache"
+        );
+        d.validate_placement().unwrap();
+    }
+
+    #[test]
+    fn cache_hit_counter_equals_batches_skipped() {
+        let mut d = setup(11);
+        let cfg = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let sink = Arc::new(Telemetry::new());
+        let mut opt = Vm1Optimizer::new(cfg)
+            .with_cache()
+            .with_metrics(sink.clone());
+        let p = DistOptParams {
+            tx: 0,
+            ty: 0,
+            bw_sites: 62,
+            bh_rows: 8,
+            lx: 3,
+            ly: 1,
+            flip: false,
+        };
+        let mut total_skipped = 0;
+        let mut total_changed = 0;
+        for _ in 0..5 {
+            let stats = opt.run_pass(&mut d, &p);
+            total_skipped += stats.batches_skipped;
+            total_changed += stats.cells_changed;
+        }
+        let r = sink.report();
+        assert!(
+            r.counter(Counter::CacheHits) > 0,
+            "re-solving an identical window grid must hit the cache"
+        );
+        // The user sink accumulates across passes, and the stats views are
+        // built from the very same counters — they cannot disagree.
+        assert_eq!(r.counter(Counter::CacheHits) as usize, total_skipped);
+        assert_eq!(r.counter(Counter::CellsChanged) as usize, total_changed);
+    }
+
+    #[test]
+    fn instrumented_run_is_bit_identical_to_uninstrumented() {
+        // Attaching sinks must observe, never perturb: the placement and
+        // every counter must match a run with no user sink attached.
+        let mut d_plain = setup(14);
+        let mut d_inst = d_plain.clone();
+        let cfg = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        let mut plain = Vm1Optimizer::new(cfg.clone());
+        let s_plain = plain.run(&mut d_plain);
+        let sink = Arc::new(Telemetry::new());
+        let s_inst = Vm1Optimizer::new(cfg)
+            .with_metrics(sink.clone())
+            .run(&mut d_inst);
+        for ((_, a), (_, b)) in d_plain.insts().zip(d_inst.insts()) {
+            assert_eq!((a.site, a.row, a.orient), (b.site, b.row, b.orient));
+        }
+        assert_eq!(s_plain.final_obj, s_inst.final_obj);
+        assert_eq!(s_plain.cells_changed, s_inst.cells_changed);
+        let (r_plain, r_inst) = (plain.last_report().unwrap(), sink.report());
+        for c in Counter::ALL {
+            assert_eq!(
+                r_plain.counter(c),
+                r_inst.counter(c),
+                "counter {}",
+                c.name()
+            );
+        }
+        assert_eq!(r_plain.trajectory().len(), r_inst.trajectory().len());
+    }
+
+    #[test]
+    fn session_cache_persists_across_runs() {
+        let mut d = setup(12);
+        let mut cfg = crate::Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
+        cfg.theta = -1.0;
+        cfg.max_inner_iters = 2;
+        let mut opt = Vm1Optimizer::new(cfg).with_cache();
+        let s1 = opt.run(&mut d);
+        let cached_after_first = opt.cache().unwrap().len();
+        assert!(cached_after_first > 0, "first run records no-gain states");
+        let s2 = opt.run(&mut d);
+        // The design converged in run 1, so run 2 re-solves mostly
+        // identical windows: the persistent cache must skip batches.
+        assert!(
+            s2.batches_skipped >= s1.batches_skipped,
+            "persistent cache: {} then {}",
+            s1.batches_skipped,
+            s2.batches_skipped
+        );
+        d.validate_placement().unwrap();
+    }
+}

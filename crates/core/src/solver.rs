@@ -12,6 +12,7 @@ use crate::milp::{build_milp, extract_assignment, warm_start};
 use crate::problem::{End, WindowProblem};
 use crate::{SolverKind, Vm1Config};
 use vm1_milp::{solve as milp_solve, SolveParams};
+use vm1_obs::{Counter, MetricsHandle, Stage};
 
 /// Solves a window problem with the engine selected in `cfg`.
 ///
@@ -19,13 +20,33 @@ use vm1_milp::{solve as milp_solve, SolveParams};
 /// the input placement's.
 #[must_use]
 pub fn solve_window(prob: &WindowProblem, cfg: &Vm1Config) -> Vec<usize> {
+    solve_window_with(prob, cfg, &MetricsHandle::disabled())
+}
+
+/// [`solve_window`] with a metrics sink: records solver-engine counters
+/// ([`Counter::DfsNodes`], [`Counter::GreedyPasses`], the MILP family) and
+/// the MILP build/solve stage timers.
+#[must_use]
+pub fn solve_window_with(
+    prob: &WindowProblem,
+    cfg: &Vm1Config,
+    metrics: &MetricsHandle,
+) -> Vec<usize> {
     if prob.cells.is_empty() {
         return Vec::new();
     }
     let result = match cfg.solver {
-        SolverKind::Dfs => dfs_solve(prob, cfg.max_nodes),
-        SolverKind::Milp => milp_window_solve(prob, cfg),
-        SolverKind::Greedy => greedy_solve(prob, 4),
+        SolverKind::Dfs => {
+            let (assign, nodes) = dfs_solve_counted(prob, cfg.max_nodes);
+            metrics.add(Counter::DfsNodes, nodes as u64);
+            assign
+        }
+        SolverKind::Milp => milp_window_solve_with(prob, cfg, metrics),
+        SolverKind::Greedy => {
+            let (assign, passes) = greedy_solve_counted(prob, 4);
+            metrics.add(Counter::GreedyPasses, passes as u64);
+            assign
+        }
     };
     // Safety net: never return something worse or illegal.
     let cur = prob.current_assign();
@@ -43,18 +64,33 @@ pub fn solve_window(prob: &WindowProblem, cfg: &Vm1Config) -> Vec<usize> {
 /// Solves the window through the faithful MILP formulation.
 #[must_use]
 pub fn milp_window_solve(prob: &WindowProblem, cfg: &Vm1Config) -> Vec<usize> {
-    let (model, vars) = build_milp(prob);
+    milp_window_solve_with(prob, cfg, &MetricsHandle::disabled())
+}
+
+/// [`milp_window_solve`] with a metrics sink. The B&B statistics
+/// (nodes, prunes, LP solves, pivots, presolve reductions) are emitted by
+/// `vm1-milp` itself through the handle passed in [`SolveParams`];
+/// this layer adds the build/solve timers and the fallback counter.
+#[must_use]
+pub fn milp_window_solve_with(
+    prob: &WindowProblem,
+    cfg: &Vm1Config,
+    metrics: &MetricsHandle,
+) -> Vec<usize> {
+    let (model, vars) = metrics.timed(Stage::MilpBuild, || build_milp(prob));
     let cur = prob.current_assign();
     let params = SolveParams {
         max_nodes: cfg.max_nodes,
         time_limit_ms: 30_000,
         abs_gap: 1e-6,
         warm_start: Some(warm_start(prob, &model, &vars, &cur)),
+        metrics: metrics.clone(),
     };
-    let sol = milp_solve(&model, &params);
+    let sol = metrics.timed(Stage::MilpSolve, || milp_solve(&model, &params));
     if sol.has_solution() {
         extract_assignment(&vars, &sol.values)
     } else {
+        metrics.incr(Counter::MilpFallbacks);
         cur
     }
 }
@@ -91,6 +127,11 @@ struct DfsState<'a> {
 /// Exact branch-and-bound over candidate assignments.
 #[must_use]
 pub fn dfs_solve(prob: &WindowProblem, max_nodes: usize) -> Vec<usize> {
+    dfs_solve_counted(prob, max_nodes).0
+}
+
+/// [`dfs_solve`] also returning the number of search nodes explored.
+fn dfs_solve_counted(prob: &WindowProblem, max_nodes: usize) -> (Vec<usize>, usize) {
     let n = prob.cells.len();
     let cur = prob.current_assign();
 
@@ -115,14 +156,14 @@ pub fn dfs_solve(prob: &WindowProblem, max_nodes: usize) -> Vec<usize> {
     }
 
     let open_bonus: f64 = prob.pairs.iter().map(|p| p.max_bonus).sum();
-    let net_bb: Vec<Option<(i64, i64, i64, i64)>> =
-        prob.nets.iter().map(|nt| nt.fixed).collect();
+    let net_bb: Vec<Option<(i64, i64, i64, i64)>> = prob.nets.iter().map(|nt| nt.fixed).collect();
     let hpwl_partial: f64 = prob
         .nets
         .iter()
         .map(|nt| {
-            nt.fixed
-                .map_or(0.0, |(x0, y0, x1, y1)| nt.weight * ((x1 - x0) + (y1 - y0)) as f64)
+            nt.fixed.map_or(0.0, |(x0, y0, x1, y1)| {
+                nt.weight * ((x1 - x0) + (y1 - y0)) as f64
+            })
         })
         .sum();
 
@@ -148,7 +189,8 @@ pub fn dfs_solve(prob: &WindowProblem, max_nodes: usize) -> Vec<usize> {
         spans: vec![None; n],
     };
     dfs_recurse(&mut st, 0);
-    st.best_assign
+    let nodes = st.nodes;
+    (st.best_assign, nodes)
 }
 
 fn dfs_recurse(st: &mut DfsState<'_>, depth: usize) {
@@ -180,9 +222,11 @@ fn dfs_recurse(st: &mut DfsState<'_>, depth: usize) {
         let cand = st.prob.cells[cell].cands[k];
         // Legality against assigned cells.
         let span = (cand.row, cand.site, cand.site + st.prob.cells[cell].width);
-        let clash = st.spans.iter().flatten().any(|&(r, s0, s1)| {
-            r == span.0 && s1 > span.1 && span.2 > s0
-        });
+        let clash = st
+            .spans
+            .iter()
+            .flatten()
+            .any(|&(r, s0, s1)| r == span.0 && s1 > span.1 && span.2 > s0);
         if clash {
             continue;
         }
@@ -190,6 +234,7 @@ fn dfs_recurse(st: &mut DfsState<'_>, depth: usize) {
         // ---- apply -----------------------------------------------------
         st.assign[cell] = k;
         st.spans[cell] = Some(span);
+        #[allow(clippy::type_complexity)] // (net, old bbox, old weighted HPWL)
         let mut undo_bb: Vec<(usize, Option<(i64, i64, i64, i64)>, f64)> = Vec::new();
         for &ni in &st.cell_nets[cell].clone() {
             let net = &st.prob.nets[ni];
@@ -264,9 +309,7 @@ fn local_score(st: &DfsState<'_>, cell: usize, k: usize) -> f64 {
                 let g = prob.pin_geo[cell][k][slot];
                 bb = Some(match bb {
                     None => (g.x, g.y, g.x, g.y),
-                    Some((x0, y0, x1, y1)) => {
-                        (x0.min(g.x), y0.min(g.y), x1.max(g.x), y1.max(g.y))
-                    }
+                    Some((x0, y0, x1, y1)) => (x0.min(g.x), y0.min(g.y), x1.max(g.x), y1.max(g.y)),
                 });
             }
         }
@@ -293,8 +336,15 @@ fn local_score(st: &DfsState<'_>, cell: usize, k: usize) -> f64 {
 /// candidate. Baseline/ablation engine.
 #[must_use]
 pub fn greedy_solve(prob: &WindowProblem, passes: usize) -> Vec<usize> {
+    greedy_solve_counted(prob, passes).0
+}
+
+/// [`greedy_solve`] also returning the number of passes executed.
+fn greedy_solve_counted(prob: &WindowProblem, passes: usize) -> (Vec<usize>, usize) {
     let mut assign = prob.current_assign();
+    let mut executed = 0usize;
     for _ in 0..passes {
+        executed += 1;
         let mut improved = false;
         for cell in 0..prob.cells.len() {
             let mut best_k = assign[cell];
@@ -320,7 +370,7 @@ pub fn greedy_solve(prob: &WindowProblem, passes: usize) -> Vec<usize> {
             break;
         }
     }
-    assign
+    (assign, executed)
 }
 
 #[cfg(test)]
@@ -472,7 +522,12 @@ mod tests {
         d.move_inst(b, 9, 1, vm1_geom::Orient::North); // off by 3 sites
         let cfg = Vm1Config::closedm1();
         let rm = RowMap::build(&d);
-        let win = Window { site0: 0, row0: 0, w_sites: 30, h_rows: 3 };
+        let win = Window {
+            site0: 0,
+            row0: 0,
+            w_sites: 30,
+            h_rows: 3,
+        };
         let movable = WindowProblem::movable_in_window(&d, &rm, &win, &Overrides::new());
         let prob =
             WindowProblem::build(&d, &rm, win, &movable, 4, 1, false, &cfg, &Overrides::new());

@@ -182,7 +182,11 @@ mod tests {
             }
         }
         let covered = seen.iter().filter(|&&s| s).count();
-        let nonempty = g.windows.iter().filter(|w| w.w_sites > 0 && w.h_rows > 0).count();
+        let nonempty = g
+            .windows
+            .iter()
+            .filter(|w| w.w_sites > 0 && w.h_rows > 0)
+            .count();
         assert_eq!(covered, nonempty);
     }
 

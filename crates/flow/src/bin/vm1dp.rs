@@ -3,15 +3,22 @@
 //!
 //! ```text
 //! vm1dp gen    --profile aes --arch closedm1 --scale 0.03 --seed 42 -o design.def
-//! vm1dp opt    -i design.def --arch closedm1 --alpha 1200 -o optimized.def
+//! vm1dp opt    -i design.def --arch closedm1 --alpha 1200 -o optimized.def \
+//!              --solver dfs --metrics-out metrics.json
 //! vm1dp report -i optimized.def --arch closedm1
 //! ```
+//!
+//! `--metrics-out` exports the run's telemetry (solver counters, stage
+//! wall times, objective trajectory); the format follows the file
+//! extension (`.csv` → CSV, anything else → JSON).
 
 use std::process::exit;
-use vm1_core::{vm1opt, Vm1Config};
+use std::sync::Arc;
+use vm1_core::{SolverKind, Vm1Config, Vm1Optimizer};
 use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
 use vm1_netlist::io::{read_def, write_def};
 use vm1_netlist::Design;
+use vm1_obs::Telemetry;
 use vm1_place::{greedy_refine, place, PlaceConfig};
 use vm1_route::{route, RouterConfig};
 use vm1_tech::{CellArch, Library};
@@ -19,7 +26,9 @@ use vm1_timing::{analyze, min_clock_period, power};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { usage("missing subcommand") };
+    let Some(cmd) = args.first() else {
+        usage("missing subcommand")
+    };
     let opts = Opts::parse(&args[1..]);
     match cmd.as_str() {
         "gen" => cmd_gen(&opts),
@@ -36,8 +45,10 @@ struct Opts {
     scale: f64,
     seed: u64,
     alpha: f64,
+    solver: Option<SolverKind>,
     input: Option<String>,
     output: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Opts {
@@ -48,8 +59,10 @@ impl Opts {
             scale: 0.03,
             seed: 42,
             alpha: f64::NAN,
+            solver: None,
             input: None,
             output: None,
+            metrics_out: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -76,11 +89,32 @@ impl Opts {
                         other => usage(&format!("unknown arch {other}")),
                     }
                 }
-                "--scale" => o.scale = val("--scale").parse().unwrap_or_else(|_| usage("bad --scale")),
-                "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
-                "--alpha" => o.alpha = val("--alpha").parse().unwrap_or_else(|_| usage("bad --alpha")),
+                "--scale" => {
+                    o.scale = val("--scale")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --scale"))
+                }
+                "--seed" => {
+                    o.seed = val("--seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --seed"))
+                }
+                "--alpha" => {
+                    o.alpha = val("--alpha")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --alpha"))
+                }
+                "--solver" => {
+                    o.solver = Some(match val("--solver").as_str() {
+                        "dfs" => SolverKind::Dfs,
+                        "milp" => SolverKind::Milp,
+                        "greedy" => SolverKind::Greedy,
+                        other => usage(&format!("unknown solver {other}")),
+                    })
+                }
                 "-i" | "--input" => o.input = Some(val("-i")),
                 "-o" | "--output" => o.output = Some(val("-o")),
+                "--metrics-out" => o.metrics_out = Some(val("--metrics-out")),
                 other => usage(&format!("unknown option {other}")),
             }
         }
@@ -94,7 +128,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: vm1dp <gen|opt|report> [--profile m0|aes|jpeg|vga] [--arch closedm1|openm1|conv12t]\n\
-         \x20            [--scale F] [--seed N] [--alpha F] [-i FILE] [-o FILE]"
+         \x20            [--scale F] [--seed N] [--alpha F] [--solver dfs|milp|greedy]\n\
+         \x20            [-i FILE] [-o FILE] [--metrics-out FILE(.json|.csv)]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -104,7 +139,10 @@ fn library(arch: CellArch) -> Library {
 }
 
 fn load(opts: &Opts) -> Design {
-    let path = opts.input.as_deref().unwrap_or_else(|| usage("-i required"));
+    let path = opts
+        .input
+        .as_deref()
+        .unwrap_or_else(|| usage("-i required"));
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
         exit(1);
@@ -116,7 +154,10 @@ fn load(opts: &Opts) -> Design {
 }
 
 fn save(design: &Design, opts: &Opts) {
-    let path = opts.output.as_deref().unwrap_or_else(|| usage("-o required"));
+    let path = opts
+        .output
+        .as_deref()
+        .unwrap_or_else(|| usage("-o required"));
     std::fs::write(path, write_def(design)).unwrap_or_else(|e| {
         eprintln!("error: cannot write {path}: {e}");
         exit(1);
@@ -152,7 +193,13 @@ fn cmd_opt(opts: &Opts) {
     if !opts.alpha.is_nan() {
         cfg = cfg.with_alpha(opts.alpha);
     }
-    let stats = vm1opt(&mut design, &cfg);
+    if let Some(kind) = opts.solver {
+        cfg = cfg.with_solver(kind);
+    }
+    let sink = Arc::new(Telemetry::new());
+    let stats = Vm1Optimizer::new(cfg)
+        .with_metrics(sink.clone())
+        .run(&mut design);
     println!(
         "objective {:.0} -> {:.0}; alignments {} -> {}; HPWL {} -> {} nm; {} cells changed in {} ms",
         stats.initial_obj,
@@ -164,6 +211,20 @@ fn cmd_opt(opts: &Opts) {
         stats.cells_changed,
         stats.runtime_ms
     );
+    let report = sink.report();
+    print!("{}", vm1_flow::format_metrics_summary(&report));
+    if let Some(path) = &opts.metrics_out {
+        let payload = if path.ends_with(".csv") {
+            report.to_csv()
+        } else {
+            report.to_json()
+        };
+        std::fs::write(path, payload).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("wrote {path}");
+    }
     save(&design, opts);
 }
 
@@ -173,7 +234,12 @@ fn cmd_report(opts: &Opts) {
     let clock = min_clock_period(&design, Some(&r)).expect("acyclic") * 1.02;
     let t = analyze(&design, Some(&r), clock).expect("acyclic");
     let p = power(&design, Some(&r), clock);
-    println!("design    : {} ({} insts, {} nets)", design.name(), design.num_insts(), design.num_nets());
+    println!(
+        "design    : {} ({} insts, {} nets)",
+        design.name(),
+        design.num_insts(),
+        design.num_nets()
+    );
     println!("HPWL      : {:.1} um", design.total_hpwl().to_um());
     println!("routed WL : {:.1} um", r.metrics.routed_wl.to_um());
     println!("M1 WL     : {:.1} um", r.metrics.m1_wl().to_um());

@@ -64,8 +64,8 @@ pub fn expt_a1(scale: ExperimentScale) -> Vec<A1Row> {
         ExperimentScale::Smoke => &[(3, 1)],
         _ => &[(2, 0), (2, 1), (3, 1), (4, 1), (5, 1)],
     };
-    let base = FlowConfig::new(DesignProfile::Aes, CellArch::ClosedM1)
-        .with_scale(scale.design_scale());
+    let base =
+        FlowConfig::new(DesignProfile::Aes, CellArch::ClosedM1).with_scale(scale.design_scale());
     let mut rows = Vec::new();
     for &bw in windows {
         for &(lx, ly) in ranges {
@@ -178,8 +178,8 @@ pub fn paper_sequences() -> Vec<(usize, String, Vec<ParamSet>)> {
 /// ExptA-3: quality/runtime of the five optimization sequences (Figure 7).
 #[must_use]
 pub fn expt_a3(scale: ExperimentScale) -> Vec<A3Row> {
-    let base = FlowConfig::new(DesignProfile::Aes, CellArch::ClosedM1)
-        .with_scale(scale.design_scale());
+    let base =
+        FlowConfig::new(DesignProfile::Aes, CellArch::ClosedM1).with_scale(scale.design_scale());
     let sequences = match scale {
         ExperimentScale::Smoke => paper_sequences().into_iter().take(2).collect::<Vec<_>>(),
         _ => paper_sequences(),
@@ -256,7 +256,7 @@ pub fn expt_fig8(scale: ExperimentScale) -> Vec<Fig8Row> {
         let mut tc = build_testcase(&fc);
         let cfg = Vm1Config::closedm1();
         let (init, _) = measure(&tc, &cfg);
-        let _ = vm1_core::vm1opt(&mut tc.design, &cfg);
+        let _ = vm1_core::Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
         let (fin, _) = measure(&tc, &cfg);
         rows.push(Fig8Row {
             util,
@@ -310,7 +310,7 @@ pub fn expt_ablation(scale: ExperimentScale) -> Vec<AblationRow> {
             let mut tc = build_testcase(&fc);
             let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 4, 1)]);
             if placer_aware {
-                let _ = vm1_core::vm1opt(&mut tc.design, &cfg);
+                let _ = vm1_core::Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
             }
             let (snap, _) = measure(&tc, &cfg);
             rows.push(AblationRow {
@@ -351,8 +351,8 @@ pub fn expt_timing_driven(scale: ExperimentScale) -> Vec<TimingDrivenRow> {
         ExperimentScale::Smoke => &[0.0, 4.0],
         _ => &[0.0, 2.0, 4.0, 8.0],
     };
-    let fc = FlowConfig::new(DesignProfile::Aes, CellArch::ClosedM1)
-        .with_scale(scale.design_scale());
+    let fc =
+        FlowConfig::new(DesignProfile::Aes, CellArch::ClosedM1).with_scale(scale.design_scale());
     let mut rows = Vec::new();
     for &boost in boosts {
         let mut tc = build_testcase(&fc);

@@ -2,9 +2,11 @@
 //! flow.
 
 use crate::report::{ExperimentRow, Snapshot};
-use vm1_core::{calculate_obj, vm1opt, Vm1Config};
+use std::sync::Arc;
+use vm1_core::{calculate_obj, Vm1Config, Vm1Optimizer};
 use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
 use vm1_netlist::Design;
+use vm1_obs::{MetricsHandle, Stage, Telemetry};
 use vm1_place::{greedy_refine, place, PlaceConfig};
 use vm1_route::{route, RouteResult, RouterConfig};
 use vm1_tech::{CellArch, Library};
@@ -94,8 +96,7 @@ pub fn build_testcase(cfg: &FlowConfig) -> Testcase {
     design.validate_placement().expect("placement is legal");
 
     let initial_route = route(&design, &cfg.router);
-    let clock_ps =
-        min_clock_period(&design, Some(&initial_route)).expect("acyclic netlist") * 1.02;
+    let clock_ps = min_clock_period(&design, Some(&initial_route)).expect("acyclic netlist") * 1.02;
     Testcase {
         design,
         clock_ps,
@@ -106,9 +107,23 @@ pub fn build_testcase(cfg: &FlowConfig) -> Testcase {
 /// Routes the design and takes a full measurement snapshot.
 #[must_use]
 pub fn measure(tc: &Testcase, vm1_cfg: &Vm1Config) -> (Snapshot, RouteResult) {
-    let r = route(&tc.design, &tc.router);
-    let timing = analyze(&tc.design, Some(&r), tc.clock_ps).expect("acyclic netlist");
-    let p = power(&tc.design, Some(&r), tc.clock_ps);
+    measure_with(tc, vm1_cfg, &MetricsHandle::disabled())
+}
+
+/// [`measure`] with a metrics sink: the routing pass is charged to
+/// [`Stage::Route`] and the STA/power analysis to [`Stage::Analysis`].
+#[must_use]
+pub fn measure_with(
+    tc: &Testcase,
+    vm1_cfg: &Vm1Config,
+    metrics: &MetricsHandle,
+) -> (Snapshot, RouteResult) {
+    let r = metrics.timed(Stage::Route, || route(&tc.design, &tc.router));
+    let (timing, p) = metrics.timed(Stage::Analysis, || {
+        let timing = analyze(&tc.design, Some(&r), tc.clock_ps).expect("acyclic netlist");
+        let p = power(&tc.design, Some(&r), tc.clock_ps);
+        (timing, p)
+    });
     let obj = calculate_obj(&tc.design, vm1_cfg);
     let snap = Snapshot {
         dm1: r.metrics.num_dm1,
@@ -126,14 +141,22 @@ pub fn measure(tc: &Testcase, vm1_cfg: &Vm1Config) -> (Snapshot, RouteResult) {
 
 /// The full ExptB flow on a testcase: measure Init, run `VM1Opt`,
 /// re-route, measure Final.
+///
+/// The whole flow is instrumented: the returned row carries the full
+/// telemetry report (optimizer counters, stage times including
+/// [`Stage::Route`]/[`Stage::Analysis`], and the objective trajectory).
 #[must_use]
 pub fn optimize_and_measure(tc: &mut Testcase, vm1_cfg: &Vm1Config) -> ExperimentRow {
-    let (init, _) = measure(tc, vm1_cfg);
-    let stats = vm1opt(&mut tc.design, vm1_cfg);
+    let telemetry = Arc::new(Telemetry::new());
+    let metrics = MetricsHandle::of(telemetry.clone());
+    let (init, _) = measure_with(tc, vm1_cfg, &metrics);
+    let stats = Vm1Optimizer::new(vm1_cfg.clone())
+        .with_metrics(telemetry.clone())
+        .run(&mut tc.design);
     tc.design
         .validate_placement()
         .expect("optimizer preserves legality");
-    let (fin, _) = measure(tc, vm1_cfg);
+    let (fin, _) = measure_with(tc, vm1_cfg, &metrics);
     ExperimentRow {
         design: tc.design.name().to_owned(),
         insts: tc.design.num_insts(),
@@ -142,6 +165,7 @@ pub fn optimize_and_measure(tc: &mut Testcase, vm1_cfg: &Vm1Config) -> Experimen
         init,
         fin,
         runtime_ms: stats.runtime_ms,
+        metrics: Some(telemetry.report()),
     }
 }
 

@@ -3,8 +3,11 @@
 //! Mirrors the paper's evaluation flow: synthesize a testcase (synthetic
 //! netlist at one of the four design profiles), place it, route it, take
 //! the **Init** measurements, run the vertical-M1 detailed-placement
-//! optimization ([`vm1_core::vm1opt`]), re-route, and take the **Final**
-//! measurements — the columns of Table 2.
+//! optimization ([`vm1_core::Vm1Optimizer`]), re-route, and take the
+//! **Final** measurements — the columns of Table 2. Every
+//! [`optimize_and_measure`] run is instrumented end to end: its
+//! [`ExperimentRow::metrics`] telemetry report can be rendered with
+//! [`format_metrics_summary`] or exported as JSON/CSV.
 //!
 //! The [`experiments`] module regenerates every table and figure of the
 //! paper's §5 (see DESIGN.md for the per-experiment index):
@@ -38,6 +41,6 @@ mod report;
 mod timing_driven;
 pub mod viz;
 
-pub use flow::{build_testcase, measure, optimize_and_measure, FlowConfig, Testcase};
-pub use report::{format_table2, ExperimentRow, Snapshot};
+pub use flow::{build_testcase, measure, measure_with, optimize_and_measure, FlowConfig, Testcase};
+pub use report::{format_metrics_summary, format_table2, ExperimentRow, Snapshot};
 pub use timing_driven::{net_criticality_weights, with_timing_driven_weights};

@@ -1,6 +1,7 @@
 //! Measurement snapshots and Table 2-style reporting.
 
 use vm1_geom::Dbu;
+use vm1_obs::{Counter, MetricsReport, Stage};
 
 /// Metrics of a routed design at one point of the flow — the columns of
 /// the paper's Table 2.
@@ -43,6 +44,9 @@ pub struct ExperimentRow {
     pub fin: Snapshot,
     /// Optimizer runtime (ms).
     pub runtime_ms: u64,
+    /// Telemetry of the optimize-and-measure run (counters, stage times,
+    /// objective trajectory), when the flow was instrumented.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl ExperimentRow {
@@ -121,6 +125,45 @@ impl ExperimentRow {
     }
 }
 
+/// Formats a telemetry report as a human-readable summary table:
+/// solver-work counters, per-stage wall times, parallel utilization, and
+/// the per-ParamSet objective/alignment trajectory.
+#[must_use]
+pub fn format_metrics_summary(r: &MetricsReport) -> String {
+    let mut out = String::from("-- telemetry --\n");
+    out.push_str("counter                    value\n");
+    for c in Counter::ALL {
+        let v = r.counter(c);
+        if v > 0 {
+            out.push_str(&format!("{:<24} {:>8}\n", c.name(), v));
+        }
+    }
+    out.push_str("stage                    ms      calls\n");
+    for s in Stage::ALL {
+        if r.stage_calls(s) > 0 {
+            out.push_str(&format!(
+                "{:<20} {:>10.1} {:>8}\n",
+                s.name(),
+                r.stage_ms(s),
+                r.stage_calls(s)
+            ));
+        }
+    }
+    if let Some(u) = r.parallel_utilization() {
+        out.push_str(&format!("parallel utilization {u:>10.2}\n"));
+    }
+    if !r.trajectory().is_empty() {
+        out.push_str("trajectory (param_set, iteration, objective, hpwl_nm, alignments)\n");
+        for p in r.trajectory() {
+            out.push_str(&format!(
+                "  u{} it{:<3} obj {:>14.1} hpwl {:>12} align {:>6}\n",
+                p.param_set, p.iteration, p.objective, p.hpwl_nm, p.alignments
+            ));
+        }
+    }
+    out
+}
+
 /// Formats rows as a Table 2-style block with a header.
 #[must_use]
 pub fn format_table2(title: &str, rows: &[ExperimentRow]) -> String {
@@ -169,6 +212,7 @@ mod tests {
                 alignments: 500,
             },
             runtime_ms: 1234,
+            metrics: None,
         }
     }
 
@@ -196,5 +240,28 @@ mod tests {
         assert!(text.contains("aes_like"));
         assert!(text.contains("ClosedM1-based designs"));
         assert!(text.contains("4.5x"));
+    }
+
+    #[test]
+    fn metrics_summary_shows_active_counters_and_stages_only() {
+        use vm1_obs::{Telemetry, TrajectoryPoint};
+        let t = Telemetry::new();
+        use vm1_obs::MetricsSink;
+        t.add(Counter::BbNodes, 7);
+        t.record_time(Stage::Route, 3_000_000);
+        t.record_point(TrajectoryPoint {
+            param_set: 0,
+            iteration: 1,
+            objective: -10.0,
+            hpwl_nm: 500,
+            alignments: 3,
+        });
+        let text = format_metrics_summary(&t.report());
+        assert!(text.contains("bb_nodes"));
+        assert!(!text.contains("cache_hits"), "zero counters are elided");
+        assert!(text.contains("route"));
+        assert!(!text.contains("milp_solve"), "untimed stages are elided");
+        assert!(text.contains("trajectory"));
+        assert!(text.contains("u0 it1"));
     }
 }

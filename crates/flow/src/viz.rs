@@ -43,7 +43,9 @@ pub fn render_placement(design: &Design, cfg: &Vm1Config, max_width: usize) -> S
         if let Some(_ov) = vm1_core::pair_aligned(design, cfg, a, b) {
             let pa = design.pin_position(a);
             let pb = design.pin_position(b);
-            let col = tech.x_to_site((pa.x + pb.x) / 2).clamp(0, design.sites_per_row - 1);
+            let col = tech
+                .x_to_site((pa.x + pb.x) / 2)
+                .clamp(0, design.sites_per_row - 1);
             let (r0, r1) = (
                 tech.y_to_row(pa.y.min(pb.y)).clamp(0, design.num_rows - 1),
                 tech.y_to_row(pa.y.max(pb.y)).clamp(0, design.num_rows - 1),

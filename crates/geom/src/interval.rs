@@ -144,7 +144,11 @@ mod tests {
     #[test]
     fn overlap_cases() {
         assert_eq!(iv(0, 10).overlap(iv(5, 15)), Some(iv(5, 10)));
-        assert_eq!(iv(0, 10).overlap(iv(10, 20)), None, "touching is not overlapping");
+        assert_eq!(
+            iv(0, 10).overlap(iv(10, 20)),
+            None,
+            "touching is not overlapping"
+        );
         assert_eq!(iv(0, 10).overlap(iv(20, 30)), None);
         assert_eq!(iv(0, 10).overlap(iv(2, 8)), Some(iv(2, 8)), "containment");
         assert_eq!(iv(0, 10).overlap_len(iv(5, 15)), Dbu(5));

@@ -223,10 +223,7 @@ mod tests {
         let a = r(0, 0, 10, 10);
         assert!(a.contains(Point::new(Dbu(0), Dbu(0))));
         assert!(!a.contains(Point::new(Dbu(10), Dbu(5))));
-        assert_eq!(
-            a.shifted(Point::new(Dbu(5), Dbu(-5))),
-            r(5, -5, 15, 5)
-        );
+        assert_eq!(a.shifted(Point::new(Dbu(5), Dbu(-5))), r(5, -5, 15, 5));
     }
 
     #[test]

@@ -4,12 +4,16 @@ use proptest::prelude::*;
 use vm1_geom::{Dbu, Interval, Orient, Point, Rect};
 
 fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (-10_000i64..10_000, 0i64..5_000)
-        .prop_map(|(lo, len)| Interval::new(Dbu(lo), Dbu(lo + len)))
+    (-10_000i64..10_000, 0i64..5_000).prop_map(|(lo, len)| Interval::new(Dbu(lo), Dbu(lo + len)))
 }
 
 fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (-10_000i64..10_000, -10_000i64..10_000, 0i64..4_000, 0i64..4_000)
+    (
+        -10_000i64..10_000,
+        -10_000i64..10_000,
+        0i64..4_000,
+        0i64..4_000,
+    )
         .prop_map(|(x, y, w, h)| Rect::from_nm(x, y, x + w, y + h))
 }
 

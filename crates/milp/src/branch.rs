@@ -18,6 +18,7 @@ use crate::lp::{solve_lp, LpStatus};
 use crate::model::{Model, VarId, VarKind};
 use crate::presolve::presolve;
 use std::time::Instant;
+use vm1_obs::{Counter, MetricsHandle};
 
 const INT_TOL: f64 = 1e-6;
 
@@ -50,6 +51,13 @@ pub struct MilpSolution {
     pub best_bound: f64,
     /// Number of branch-and-bound nodes processed.
     pub nodes: usize,
+    /// Nodes cut off without branching (parent-bound prunes before the LP
+    /// solve, bound prunes after it, and LP-infeasible children).
+    pub nodes_pruned: usize,
+    /// LP relaxations solved (node LPs plus rounding-heuristic LPs).
+    pub lp_solves: usize,
+    /// Simplex pivots performed over all LP solves.
+    pub pivots: u64,
 }
 
 impl MilpSolution {
@@ -83,6 +91,10 @@ pub struct SolveParams {
     /// Optional warm-start assignment (full variable vector). If feasible it
     /// seeds the incumbent.
     pub warm_start: Option<Vec<f64>>,
+    /// Metrics sinks the solve reports its counters to (disabled by
+    /// default; the same statistics are always returned in
+    /// [`MilpSolution`]).
+    pub metrics: MetricsHandle,
 }
 
 impl Default for SolveParams {
@@ -92,6 +104,7 @@ impl Default for SolveParams {
             time_limit_ms: 60_000,
             abs_gap: 1e-6,
             warm_start: None,
+            metrics: MetricsHandle::disabled(),
         }
     }
 }
@@ -120,6 +133,9 @@ pub struct Solver<'a> {
     incumbent_obj: f64,
     best_bound: f64,
     nodes: usize,
+    nodes_pruned: usize,
+    lp_solves: usize,
+    pivots: u64,
 }
 
 impl<'a> Solver<'a> {
@@ -133,6 +149,9 @@ impl<'a> Solver<'a> {
             incumbent_obj: f64::INFINITY,
             best_bound: f64::NEG_INFINITY,
             nodes: 0,
+            nodes_pruned: 0,
+            lp_solves: 0,
+            pivots: 0,
         }
     }
 
@@ -149,7 +168,10 @@ impl<'a> Solver<'a> {
 
         // Root presolve: tightened bounds + early infeasibility.
         let pre = presolve(self.model);
+        let pre_tightenings = pre.tightenings;
+        let pre_redundant = pre.redundant.iter().filter(|&&r| r).count();
         if pre.infeasible {
+            self.emit_metrics(pre_tightenings, pre_redundant);
             return MilpSolution {
                 // A feasible warm start contradicts presolve-infeasible;
                 // presolve only proves infeasibility from valid bound
@@ -163,6 +185,9 @@ impl<'a> Solver<'a> {
                 values: self.incumbent.unwrap_or_default(),
                 best_bound: f64::INFINITY,
                 nodes: 0,
+                nodes_pruned: 0,
+                lp_solves: 0,
+                pivots: 0,
             };
         }
         let root_lb: Vec<f64> = pre.lb;
@@ -185,16 +210,18 @@ impl<'a> Solver<'a> {
                 break;
             }
             if node.parent_bound >= self.incumbent_obj - self.params.abs_gap {
+                self.nodes_pruned += 1;
                 continue;
             }
             self.nodes += 1;
 
-            let lp = solve_lp(self.model, Some((&node.lb, &node.ub)));
+            let lp = self.solve_node_lp(&node.lb, &node.ub);
             match lp.status {
                 LpStatus::Infeasible => {
                     if node.depth == 0 {
                         root_status = Some(Status::Infeasible);
                     }
+                    self.nodes_pruned += 1;
                     continue;
                 }
                 LpStatus::Unbounded => {
@@ -203,6 +230,7 @@ impl<'a> Solver<'a> {
                     }
                     // Unbounded below a node with an incumbent cannot happen
                     // for bounded-variable models; treat as prune otherwise.
+                    self.nodes_pruned += 1;
                     continue;
                 }
                 LpStatus::IterLimit => {
@@ -215,6 +243,7 @@ impl<'a> Solver<'a> {
                 self.best_bound = lp.objective;
             }
             if lp.objective >= self.incumbent_obj - self.params.abs_gap {
+                self.nodes_pruned += 1;
                 continue;
             }
 
@@ -241,7 +270,7 @@ impl<'a> Solver<'a> {
 
         let status = if let Some(s) = root_status {
             s
-        } else if let Some(_) = &self.incumbent {
+        } else if self.incumbent.is_some() {
             if saw_limit || !stack.is_empty() {
                 Status::Feasible
             } else {
@@ -253,6 +282,7 @@ impl<'a> Solver<'a> {
             Status::Infeasible
         };
 
+        self.emit_metrics(pre_tightenings, pre_redundant);
         MilpSolution {
             status,
             objective: self.incumbent_obj,
@@ -263,7 +293,32 @@ impl<'a> Solver<'a> {
                 self.best_bound
             },
             nodes: self.nodes,
+            nodes_pruned: self.nodes_pruned,
+            lp_solves: self.lp_solves,
+            pivots: self.pivots,
         }
+    }
+
+    /// Solves one LP relaxation, accumulating the solve and pivot counts.
+    fn solve_node_lp(&mut self, lb: &[f64], ub: &[f64]) -> crate::lp::LpResult {
+        let lp = solve_lp(self.model, Some((lb, ub)));
+        self.lp_solves += 1;
+        self.pivots += lp.pivots;
+        lp
+    }
+
+    /// Reports the accumulated counters to the caller's metrics sinks.
+    fn emit_metrics(&self, tightenings: usize, redundant: usize) {
+        let metrics = &self.params.metrics;
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.add(Counter::BbNodes, self.nodes as u64);
+        metrics.add(Counter::BbNodesPruned, self.nodes_pruned as u64);
+        metrics.add(Counter::LpSolves, self.lp_solves as u64);
+        metrics.add(Counter::SimplexPivots, self.pivots);
+        metrics.add(Counter::PresolveTightenings, tightenings as u64);
+        metrics.add(Counter::PresolveRedundantRows, redundant as u64);
     }
 
     /// Most fractional integer variable at the LP point, if any.
@@ -288,14 +343,11 @@ impl<'a> Solver<'a> {
         let mut rounded = values.to_vec();
         for group in &self.model.sos1 {
             // Heaviest member that is still allowed at this node wins.
-            let winner = group
-                .iter()
-                .filter(|v| ub[v.index()] > 0.5)
-                .max_by(|a, b| {
-                    values[a.index()]
-                        .partial_cmp(&values[b.index()])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+            let winner = group.iter().filter(|v| ub[v.index()] > 0.5).max_by(|a, b| {
+                values[a.index()]
+                    .partial_cmp(&values[b.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let Some(&winner) = winner else { return };
             for &v in group {
                 rounded[v.index()] = if v == winner { 1.0 } else { 0.0 };
@@ -312,7 +364,7 @@ impl<'a> Solver<'a> {
             flb[v.index()] = rounded[v.index()];
             fub[v.index()] = rounded[v.index()];
         }
-        let lp = solve_lp(self.model, Some((&flb, &fub)));
+        let lp = self.solve_node_lp(&flb, &fub);
         if lp.status == LpStatus::Optimal
             && self.model.is_feasible(&lp.values, 1e-6)
             && lp.objective < self.incumbent_obj
@@ -332,12 +384,7 @@ impl<'a> Solver<'a> {
     ) {
         // SOS1 branching: if the fractional variable belongs to a group with
         // several active members, split the group by LP weight.
-        if let Some(group) = self
-            .model
-            .sos1
-            .iter()
-            .find(|g| g.contains(&frac_var))
-        {
+        if let Some(group) = self.model.sos1.iter().find(|g| g.contains(&frac_var)) {
             let mut active: Vec<VarId> = group
                 .iter()
                 .copied()
@@ -349,7 +396,7 @@ impl<'a> Solver<'a> {
                         .partial_cmp(&values[a.index()])
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
-                let half = (active.len() + 1) / 2;
+                let half = active.len().div_ceil(2);
                 let (heavy, light) = active.split_at(half);
 
                 let mut child_a = Node {
@@ -410,6 +457,7 @@ const _: fn() = || {
 };
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix formulations
 mod tests {
     use super::*;
     use crate::model::Model;
@@ -422,15 +470,24 @@ mod tests {
     fn knapsack() {
         // max 10a + 13b + 7c + 4d st 3a+4b+2c+d <= 7
         let mut m = Model::new();
-        let vars: Vec<_> = ["a", "b", "c", "d"].iter().map(|n| m.add_binary(n)).collect();
+        let vars: Vec<_> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| m.add_binary(n))
+            .collect();
         let weights = [3.0, 4.0, 2.0, 1.0];
         let values = [10.0, 13.0, 7.0, 4.0];
         m.add_le(
-            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect::<Vec<_>>(),
+            vars.iter()
+                .zip(&weights)
+                .map(|(&v, &w)| (v, w))
+                .collect::<Vec<_>>(),
             7.0,
         );
         m.set_objective(
-            vars.iter().zip(&values).map(|(&v, &p)| (v, -p)).collect::<Vec<_>>(),
+            vars.iter()
+                .zip(&values)
+                .map(|(&v, &p)| (v, -p))
+                .collect::<Vec<_>>(),
         );
         let sol = solve(&m, &SolveParams::default());
         assert_eq!(sol.status, Status::Optimal);
@@ -531,7 +588,10 @@ mod tests {
         let vars: Vec<_> = (0..12).map(|i| m.add_binary(&format!("v{i}"))).collect();
         let w: Vec<f64> = (0..12).map(|i| ((i * 7) % 5 + 1) as f64).collect();
         m.add_le(
-            vars.iter().zip(&w).map(|(&v, &wi)| (v, wi)).collect::<Vec<_>>(),
+            vars.iter()
+                .zip(&w)
+                .map(|(&v, &wi)| (v, wi))
+                .collect::<Vec<_>>(),
             17.0,
         );
         m.set_objective(
@@ -546,7 +606,10 @@ mod tests {
         };
         let sol = solve(&m, &params);
         // With only 3 nodes the rounding heuristic should still find something.
-        assert!(matches!(sol.status, Status::Feasible | Status::Unknown | Status::Optimal));
+        assert!(matches!(
+            sol.status,
+            Status::Feasible | Status::Unknown | Status::Optimal
+        ));
     }
 
     #[test]
@@ -586,6 +649,45 @@ mod tests {
             }
         }
         assert_close(sol.objective, best);
+    }
+
+    #[test]
+    fn solve_stats_are_populated_and_reported() {
+        use std::sync::Arc;
+        use vm1_obs::Telemetry;
+
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(&format!("v{i}"))).collect();
+        let w: Vec<f64> = (0..8).map(|i| ((i * 3) % 5 + 1) as f64).collect();
+        m.add_le(
+            vars.iter()
+                .zip(&w)
+                .map(|(&v, &wi)| (v, wi))
+                .collect::<Vec<_>>(),
+            9.0,
+        );
+        m.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, -((i % 3 + 1) as f64)))
+                .collect::<Vec<_>>(),
+        );
+        let sink = Arc::new(Telemetry::new());
+        let params = SolveParams {
+            metrics: MetricsHandle::of(sink.clone()),
+            ..SolveParams::default()
+        };
+        let sol = solve(&m, &params);
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(sol.nodes >= 1);
+        assert!(sol.lp_solves >= sol.nodes);
+        assert!(sol.pivots >= 1);
+        // The metrics sink saw exactly the returned statistics.
+        let r = sink.report();
+        assert_eq!(r.counter(Counter::BbNodes), sol.nodes as u64);
+        assert_eq!(r.counter(Counter::BbNodesPruned), sol.nodes_pruned as u64);
+        assert_eq!(r.counter(Counter::LpSolves), sol.lp_solves as u64);
+        assert_eq!(r.counter(Counter::SimplexPivots), sol.pivots);
     }
 
     #[test]

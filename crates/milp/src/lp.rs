@@ -8,6 +8,10 @@
 //! equalities with slack variables; infeasible starting rows receive
 //! artificial variables that phase 1 drives to zero.
 
+//
+// The simplex kernel walks parallel dense arrays (x, basis, binv, w) by
+// row index; zipped iterators would obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
 use crate::model::{ConstraintSense, Model};
 
 /// Outcome class of an LP solve.
@@ -32,6 +36,9 @@ pub struct LpResult {
     pub objective: f64,
     /// Values of the model's structural variables (empty unless `Optimal`).
     pub values: Vec<f64>,
+    /// Simplex pivots performed over both phases (basis changes and bound
+    /// flips).
+    pub pivots: u64,
 }
 
 const FEAS_TOL: f64 = 1e-7;
@@ -68,6 +75,7 @@ pub fn solve_lp(model: &Model, bounds: Option<(&[f64], &[f64])>) -> LpResult {
                 status: LpStatus::Infeasible,
                 objective: f64::INFINITY,
                 values: Vec::new(),
+                pivots: 0,
             };
         }
     }
@@ -94,8 +102,9 @@ struct Simplex {
     stat: Vec<VStat>,
     basis: Vec<usize>,
     binv: Vec<Vec<f64>>,
-    cost: Vec<f64>,   // phase-2 (real) cost
+    cost: Vec<f64>, // phase-2 (real) cost
     n_artificial: usize,
+    pivots: u64,
 }
 
 impl Simplex {
@@ -111,7 +120,11 @@ impl Simplex {
 
         for (i, con) in model.constraints.iter().enumerate() {
             // Normalize Ge to Le by negation so every slack is >= 0.
-            let flip = if con.sense == ConstraintSense::Ge { -1.0 } else { 1.0 };
+            let flip = if con.sense == ConstraintSense::Ge {
+                -1.0
+            } else {
+                1.0
+            };
             rhs[i] = con.rhs * flip;
             // Merge duplicate terms while scattering into columns.
             for &(v, c) in &con.expr.terms {
@@ -215,6 +228,7 @@ impl Simplex {
             binv,
             cost,
             n_artificial,
+            pivots: 0,
         }
     }
 
@@ -233,6 +247,7 @@ impl Simplex {
                         status: LpStatus::IterLimit,
                         objective: f64::NAN,
                         values: Vec::new(),
+                        pivots: self.pivots,
                     }
                 }
             }
@@ -244,6 +259,7 @@ impl Simplex {
                     status: LpStatus::Infeasible,
                     objective: f64::INFINITY,
                     values: Vec::new(),
+                    pivots: self.pivots,
                 };
             }
             // Pin artificials to zero for phase 2.
@@ -271,6 +287,7 @@ impl Simplex {
                     f64::NAN
                 },
                 values: Vec::new(),
+                pivots: self.pivots,
             };
         }
         let values: Vec<f64> = self.x[..self.n_struct].to_vec();
@@ -283,6 +300,7 @@ impl Simplex {
             status: LpStatus::Optimal,
             objective,
             values,
+            pivots: self.pivots,
         }
     }
 
@@ -383,7 +401,9 @@ impl Simplex {
                 return InnerStatus::Unbounded;
             }
 
-            // Apply the move.
+            // Apply the move (each applied move — basis change or bound
+            // flip — counts as one pivot).
+            self.pivots += 1;
             for k in 0..self.m {
                 let g = -dir * w[k];
                 let bvar = self.basis[k];
@@ -394,7 +414,11 @@ impl Simplex {
             match leave {
                 None => {
                     // Bound flip of the entering variable.
-                    self.stat[j] = if dir > 0.0 { VStat::AtUpper } else { VStat::AtLower };
+                    self.stat[j] = if dir > 0.0 {
+                        VStat::AtUpper
+                    } else {
+                        VStat::AtLower
+                    };
                     self.x[j] = if dir > 0.0 { self.ub[j] } else { self.lb[j] };
                 }
                 Some((r, hit)) => {

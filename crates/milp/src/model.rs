@@ -136,7 +136,10 @@ impl Model {
     /// Panics if `lb > ub`, if `lb` is not finite, or if `ub` is NaN.
     pub fn add_continuous(&mut self, name: &str, lb: f64, ub: f64) -> VarId {
         assert!(lb.is_finite(), "lower bound of {name} must be finite");
-        assert!(!ub.is_nan() && lb <= ub, "invalid bounds [{lb}, {ub}] for {name}");
+        assert!(
+            !ub.is_nan() && lb <= ub,
+            "invalid bounds [{lb}, {ub}] for {name}"
+        );
         self.push_var(name, VarKind::Continuous, lb, ub)
     }
 
@@ -265,11 +268,7 @@ impl Model {
     /// Evaluates the objective at a full assignment.
     #[must_use]
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(values)
-            .map(|(c, x)| c * x)
-            .sum()
+        self.objective.iter().zip(values).map(|(c, x)| c * x).sum()
     }
 
     /// Checks whether `values` satisfies all constraints, bounds, and

@@ -25,14 +25,12 @@ pub(crate) struct Presolved {
     pub lb: Vec<f64>,
     /// Tightened upper bounds.
     pub ub: Vec<f64>,
-    /// Constraints proven redundant under the tightened bounds
-    /// (observability/tests; kept for a future reduced-model LP path).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Constraints proven redundant under the tightened bounds (reported
+    /// to the metrics layer; kept for a future reduced-model LP path).
     pub redundant: Vec<bool>,
     /// Whether the model is proven infeasible.
     pub infeasible: bool,
-    /// Number of bound changes applied (observability/tests).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Number of bound changes applied (reported to the metrics layer).
     pub tightenings: usize,
 }
 

@@ -167,10 +167,7 @@ impl Design {
         let t = self.library.tech();
         Rect::new(
             Point::ORIGIN,
-            Point::new(
-                t.site_to_x(self.sites_per_row),
-                t.row_to_y(self.num_rows),
-            ),
+            Point::new(t.site_to_x(self.sites_per_row), t.row_to_y(self.num_rows)),
         )
     }
 
@@ -231,7 +228,9 @@ impl Design {
             self.insts[inst.0].name
         );
         self.insts[inst.0].pin_nets[pin] = Some(net);
-        self.nets[net.0].pins.push(NetPin::Inst(PinRef { inst, pin }));
+        self.nets[net.0]
+            .pins
+            .push(NetPin::Inst(PinRef { inst, pin }));
     }
 
     /// Connects a port to a net.
@@ -293,7 +292,10 @@ impl Design {
 
     /// Iterator over `(InstId, &Instance)`.
     pub fn insts(&self) -> impl Iterator<Item = (InstId, &Instance)> {
-        self.insts.iter().enumerate().map(|(i, inst)| (InstId(i), inst))
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (InstId(i), inst))
     }
 
     /// Iterator over `(NetId, &Net)`.
@@ -335,10 +337,7 @@ impl Design {
         let inst = &self.insts[id.0];
         let cell = self.library.cell(inst.cell);
         let origin = self.inst_origin(id);
-        Rect::new(
-            origin,
-            origin + Point::new(cell.width, cell.height),
-        )
+        Rect::new(origin, origin + Point::new(cell.width, cell.height))
     }
 
     /// Absolute centre position of a pin (the MILP's `(x_c + x_p, y_c + y_p)`).
@@ -377,7 +376,10 @@ impl Design {
     /// Half-perimeter wirelength of one net (constraint (2) of the paper).
     #[must_use]
     pub fn net_hpwl(&self, id: NetId) -> Dbu {
-        let positions = self.nets[id.0].pins.iter().map(|&p| self.net_pin_position(p));
+        let positions = self.nets[id.0]
+            .pins
+            .iter()
+            .map(|&p| self.net_pin_position(p));
         Rect::bounding_box(positions).map_or(Dbu::ZERO, Rect::half_perimeter)
     }
 
@@ -469,7 +471,9 @@ impl Design {
             {
                 return Err(DesignError::OutOfCore(inst.name.clone()));
             }
-            rows.entry(inst.row).or_default().push((inst.site, inst.site + w, i));
+            rows.entry(inst.row)
+                .or_default()
+                .push((inst.site, inst.site + w, i));
         }
         for spans in rows.values_mut() {
             spans.sort_unstable();
@@ -550,12 +554,18 @@ mod tests {
         let u1 = InstId(0);
         let inv = d.library().cell(d.inst(u1).cell);
         let a_idx = inv.pin_index("A").unwrap();
-        let p = d.pin_position(PinRef { inst: u1, pin: a_idx });
+        let p = d.pin_position(PinRef {
+            inst: u1,
+            pin: a_idx,
+        });
         // u1 at site 0 row 0: pin A at col 1 centre = 72.
         assert_eq!(p.x, Dbu(72));
         // u3 flipped at site 20: A col 1 -> flipped to width-72 = 192-72=120.
         let u3 = InstId(2);
-        let p3 = d.pin_position(PinRef { inst: u3, pin: a_idx });
+        let p3 = d.pin_position(PinRef {
+            inst: u3,
+            pin: a_idx,
+        });
         assert_eq!(p3.x, Dbu(20 * 48 + 120));
         assert_eq!(p3.y, d.library().tech().row_to_y(2) + Dbu(180));
     }

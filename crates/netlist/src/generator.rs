@@ -10,8 +10,8 @@
 //! identical design.
 
 use crate::{Design, InstId, NetId};
-use vm1_geom::{Dbu, Point};
 use vm1_geom::rng::SplitMix64;
+use vm1_geom::{Dbu, Point};
 use vm1_tech::{Library, PinDir};
 
 /// The four testcases of the paper's Table 2.
@@ -164,7 +164,7 @@ impl GeneratorConfig {
         for _ in 0..n_comb {
             cells.push(weighted_pick(&mut rng, &comb_choices));
         }
-        cells.extend(std::iter::repeat(dff).take(n_ff));
+        cells.extend(std::iter::repeat_n(dff, n_ff));
         let used_sites: i64 = cells.iter().map(|&c| library.cell(c).width_sites).sum();
         let capacity = (used_sites as f64 / self.target_util).ceil();
         // Square-ish core: S sites per row, R rows, S*sw ≈ R*rh.
@@ -216,13 +216,28 @@ impl GeneratorConfig {
         let mut drivers: Vec<Driver> = Vec::new();
         for (i, &pi) in pis.iter().enumerate() {
             let _ = pi;
-            drivers.push(Driver { src: Src::Pi(i), level: 0, fanout: 0, net: None });
+            drivers.push(Driver {
+                src: Src::Pi(i),
+                level: 0,
+                fanout: 0,
+                net: None,
+            });
         }
         for &ff in ffs {
-            drivers.push(Driver { src: Src::InstOut(ff), level: 0, fanout: 0, net: None });
+            drivers.push(Driver {
+                src: Src::InstOut(ff),
+                level: 0,
+                fanout: 0,
+                net: None,
+            });
         }
         for &c in comb {
-            drivers.push(Driver { src: Src::InstOut(c), level: level[c.0], fanout: 0, net: None });
+            drivers.push(Driver {
+                src: Src::InstOut(c),
+                level: level[c.0],
+                fanout: 0,
+                net: None,
+            });
         }
         // Sort drivers by level for fast "level < l" sampling: build index
         // ranges per level.
@@ -257,7 +272,11 @@ impl GeneratorConfig {
         let mut all_inputs: Vec<(InstId, &'static str, usize)> = Vec::new();
         for &id in &insts {
             let f = d.library().cell(d.inst(id).cell).function;
-            let lvl = if f.is_sequential() { self.depth + 1 } else { level[id.0] };
+            let lvl = if f.is_sequential() {
+                self.depth + 1
+            } else {
+                level[id.0]
+            };
             for &n in f.input_names() {
                 all_inputs.push((id, n, lvl));
             }
@@ -446,7 +465,11 @@ mod tests {
             .with_insts(300)
             .with_utilization(0.84)
             .generate(&lib, 1);
-        assert!((0.70..=0.88).contains(&d.utilization()), "{}", d.utilization());
+        assert!(
+            (0.70..=0.88).contains(&d.utilization()),
+            "{}",
+            d.utilization()
+        );
     }
 
     #[test]

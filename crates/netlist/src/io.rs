@@ -40,7 +40,9 @@ impl fmt::Display for ReadDefError {
         match self {
             ReadDefError::Syntax(line, msg) => write!(f, "line {line}: syntax error: {msg}"),
             ReadDefError::Unknown(line, what) => write!(f, "line {line}: unknown {what}"),
-            ReadDefError::ArchMismatch(a) => write!(f, "library architecture mismatch: file has {a}"),
+            ReadDefError::ArchMismatch(a) => {
+                write!(f, "library architecture mismatch: file has {a}")
+            }
             ReadDefError::Invalid(e) => write!(f, "invalid design: {e}"),
         }
     }
@@ -143,7 +145,9 @@ pub fn read_def(text: &str, library: &Library) -> Result<Design, ReadDefError> {
                 design = Some(Design::new(&name, library.clone(), rows, sites));
             }
             "PORT" => {
-                let d = design.as_mut().ok_or_else(|| syntax(ln, "PORT before CORE"))?;
+                let d = design
+                    .as_mut()
+                    .ok_or_else(|| syntax(ln, "PORT before CORE"))?;
                 let pname = tok.next().ok_or_else(|| syntax(ln, "PORT name"))?;
                 let x: i64 = parse_tok(&mut tok, ln, "x")?;
                 let y: i64 = parse_tok(&mut tok, ln, "y")?;
@@ -156,7 +160,9 @@ pub fn read_def(text: &str, library: &Library) -> Result<Design, ReadDefError> {
                 port_ids.insert(pname.to_owned(), id);
             }
             "INST" => {
-                let d = design.as_mut().ok_or_else(|| syntax(ln, "INST before CORE"))?;
+                let d = design
+                    .as_mut()
+                    .ok_or_else(|| syntax(ln, "INST before CORE"))?;
                 let iname = tok.next().ok_or_else(|| syntax(ln, "INST name"))?;
                 let cname = tok.next().ok_or_else(|| syntax(ln, "INST cell"))?;
                 let cell = library
@@ -180,22 +186,24 @@ pub fn read_def(text: &str, library: &Library) -> Result<Design, ReadDefError> {
                 inst_ids.insert(iname.to_owned(), id);
             }
             "NET" => {
-                let d = design.as_mut().ok_or_else(|| syntax(ln, "NET before CORE"))?;
+                let d = design
+                    .as_mut()
+                    .ok_or_else(|| syntax(ln, "NET before CORE"))?;
                 let nname = tok.next().ok_or_else(|| syntax(ln, "NET name"))?;
                 let net = d.add_net(nname);
                 for conn in tok {
                     if let Some(pname) = conn.strip_prefix("P:") {
-                        let &pid = port_ids
-                            .get(pname)
-                            .ok_or_else(|| ReadDefError::Unknown(ln + 1, format!("port {pname}")))?;
+                        let &pid = port_ids.get(pname).ok_or_else(|| {
+                            ReadDefError::Unknown(ln + 1, format!("port {pname}"))
+                        })?;
                         d.connect_port(pid, net);
                     } else if let Some(rest) = conn.strip_prefix("I:") {
                         let (iname, pin) = rest
                             .split_once(':')
                             .ok_or_else(|| syntax(ln, "conn must be I:<inst>:<pin>"))?;
-                        let &iid = inst_ids
-                            .get(iname)
-                            .ok_or_else(|| ReadDefError::Unknown(ln + 1, format!("inst {iname}")))?;
+                        let &iid = inst_ids.get(iname).ok_or_else(|| {
+                            ReadDefError::Unknown(ln + 1, format!("inst {iname}"))
+                        })?;
                         d.connect(iid, pin, net);
                     } else {
                         return Err(syntax(ln, "conn must start with P: or I:"));

@@ -34,6 +34,4 @@ mod design;
 pub mod generator;
 pub mod io;
 
-pub use design::{
-    Design, DesignError, InstId, Instance, Net, NetId, NetPin, PinRef, Port, PortId,
-};
+pub use design::{Design, DesignError, InstId, Instance, Net, NetId, NetPin, PinRef, Port, PortId};

@@ -1,0 +1,656 @@
+//! Observability layer for the vm1dp solver stack.
+//!
+//! The DAC 2017 flow is a multi-stage metaheuristic (`VM1Opt` → `DistOpt`
+//! → window MILP → branch-and-bound → simplex). This crate provides the
+//! measurement layer that makes its run-time behaviour visible without
+//! perturbing it:
+//!
+//! * [`MetricsSink`] — the recording trait: monotonic counters
+//!   ([`Counter`]), per-stage wall-clock timers ([`Stage`]) and an
+//!   objective-trajectory recorder ([`TrajectoryPoint`]);
+//! * [`Telemetry`] — the standard in-memory sink: lock-free atomic
+//!   counters, atomic stage accumulators, a mutexed trajectory;
+//! * [`MetricsHandle`] — a cheap, cloneable fan-out handle threaded
+//!   through every solver layer. A disabled handle (the default) holds no
+//!   sinks: every record call is an inlineable empty-slice check, so
+//!   uninstrumented runs pay nothing;
+//! * [`MetricsReport`] — an owned snapshot with JSON/CSV export (the
+//!   schema is documented in the workspace DESIGN.md §"Observability").
+//!
+//! Counter values are *deterministic* for a fixed seed and configuration:
+//! they count algorithmic events (nodes, pivots, windows, cache hits),
+//! never wall-clock artefacts. Stage times are the only nondeterministic
+//! quantity and are kept separate from the counters.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vm1_obs::{Counter, MetricsHandle, Stage, Telemetry};
+//!
+//! let sink = Arc::new(Telemetry::new());
+//! let metrics = MetricsHandle::of(sink.clone());
+//! metrics.add(Counter::WindowsImproved, 3);
+//! metrics.timed(Stage::WindowSolve, || { /* solve */ });
+//! let report = sink.report();
+//! assert_eq!(report.counter(Counter::WindowsImproved), 3);
+//! assert!(report.to_json().contains("windows_improved"));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Monotonic event counters, one per instrumented quantity of the solver
+/// stack. The discriminant indexes the fixed-size counter arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Branch-and-bound nodes whose LP relaxation was solved (`vm1-milp`).
+    BbNodes,
+    /// Branch-and-bound nodes pruned without an LP solve (bound or
+    /// infeasibility cut-off).
+    BbNodesPruned,
+    /// LP relaxations solved (node LPs plus rounding-heuristic LPs).
+    LpSolves,
+    /// Simplex pivots (basis changes and bound flips) over all LP solves.
+    SimplexPivots,
+    /// Variable-bound tightenings applied by the MILP root presolve.
+    PresolveTightenings,
+    /// Constraints proven redundant by the MILP root presolve.
+    PresolveRedundantRows,
+    /// MILP solves that fell back to the incumbent (no solution found).
+    MilpFallbacks,
+    /// Nodes explored by the exact DFS window solver.
+    DfsNodes,
+    /// Improvement passes executed by the greedy window solver.
+    GreedyPasses,
+    /// Windows visited that contained at least one movable cell.
+    WindowsVisited,
+    /// Windows whose solve produced at least one cell move or flip.
+    WindowsImproved,
+    /// Window batches handed to a window solver.
+    BatchesSolved,
+    /// Window batches skipped by the smart-selection cache (cache hits).
+    CacheHits,
+    /// Cells moved or flipped by committed window solutions.
+    CellsChanged,
+    /// `DistOpt` parallel rounds executed (= diagonal sets processed).
+    DistOptRounds,
+    /// `DistOpt` passes executed (perturbation and flip passes).
+    DistOptPasses,
+    /// Inner iterations of Algorithm 1 over all parameter sets.
+    Iterations,
+    /// Parameter sets of the optimization sequence processed.
+    ParamSets,
+}
+
+impl Counter {
+    /// Every counter, in discriminant order.
+    pub const ALL: [Counter; 18] = [
+        Counter::BbNodes,
+        Counter::BbNodesPruned,
+        Counter::LpSolves,
+        Counter::SimplexPivots,
+        Counter::PresolveTightenings,
+        Counter::PresolveRedundantRows,
+        Counter::MilpFallbacks,
+        Counter::DfsNodes,
+        Counter::GreedyPasses,
+        Counter::WindowsVisited,
+        Counter::WindowsImproved,
+        Counter::BatchesSolved,
+        Counter::CacheHits,
+        Counter::CellsChanged,
+        Counter::DistOptRounds,
+        Counter::DistOptPasses,
+        Counter::Iterations,
+        Counter::ParamSets,
+    ];
+
+    /// Stable snake_case name used as the JSON/CSV key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::BbNodes => "bb_nodes",
+            Counter::BbNodesPruned => "bb_nodes_pruned",
+            Counter::LpSolves => "lp_solves",
+            Counter::SimplexPivots => "simplex_pivots",
+            Counter::PresolveTightenings => "presolve_tightenings",
+            Counter::PresolveRedundantRows => "presolve_redundant_rows",
+            Counter::MilpFallbacks => "milp_fallbacks",
+            Counter::DfsNodes => "dfs_nodes",
+            Counter::GreedyPasses => "greedy_passes",
+            Counter::WindowsVisited => "windows_visited",
+            Counter::WindowsImproved => "windows_improved",
+            Counter::BatchesSolved => "batches_solved",
+            Counter::CacheHits => "cache_hits",
+            Counter::CellsChanged => "cells_changed",
+            Counter::DistOptRounds => "distopt_rounds",
+            Counter::DistOptPasses => "distopt_passes",
+            Counter::Iterations => "iterations",
+            Counter::ParamSets => "param_sets",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------------
+
+/// Wall-clock-timed stages of the flow. Stage times recorded from worker
+/// threads accumulate (they report total thread-time, not elapsed time);
+/// stages recorded on the driving thread are true wall-clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Whole `VM1Opt` run (Algorithm 1).
+    Vm1Opt,
+    /// Perturbation `DistOpt` passes (`f = 0`).
+    Perturb,
+    /// Flip `DistOpt` passes (`f = 1`).
+    Flip,
+    /// Global objective evaluations between iterations.
+    ObjectiveEval,
+    /// Window-batch solves (accumulated across worker threads).
+    WindowSolve,
+    /// MILP model construction (accumulated across worker threads).
+    MilpBuild,
+    /// MILP branch-and-bound solves (accumulated across worker threads).
+    MilpSolve,
+    /// Routing passes of the measurement flow.
+    Route,
+    /// STA + power analysis of the measurement flow.
+    Analysis,
+}
+
+impl Stage {
+    /// Every stage, in discriminant order.
+    pub const ALL: [Stage; 9] = [
+        Stage::Vm1Opt,
+        Stage::Perturb,
+        Stage::Flip,
+        Stage::ObjectiveEval,
+        Stage::WindowSolve,
+        Stage::MilpBuild,
+        Stage::MilpSolve,
+        Stage::Route,
+        Stage::Analysis,
+    ];
+
+    /// Stable snake_case name used as the JSON/CSV key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Vm1Opt => "vm1opt",
+            Stage::Perturb => "perturb",
+            Stage::Flip => "flip",
+            Stage::ObjectiveEval => "objective_eval",
+            Stage::WindowSolve => "window_solve",
+            Stage::MilpBuild => "milp_build",
+            Stage::MilpSolve => "milp_solve",
+            Stage::Route => "route",
+            Stage::Analysis => "analysis",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory
+// ---------------------------------------------------------------------------
+
+/// One point of the objective trajectory: the state after an inner
+/// iteration of Algorithm 1 (iteration 0 is the initial state).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Index of the parameter set in the optimization sequence `U`.
+    pub param_set: usize,
+    /// Inner-iteration number within the parameter set (0 = before the
+    /// first pass of the set).
+    pub iteration: usize,
+    /// Objective (1)/(10) value.
+    pub objective: f64,
+    /// Total HPWL in nm.
+    pub hpwl_nm: i64,
+    /// Vertically alignable pin pairs (Σ d_pq).
+    pub alignments: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Sink trait + standard sink
+// ---------------------------------------------------------------------------
+
+/// A metrics recorder. Implementations must be thread-safe: the solver
+/// stack records from parallel window workers.
+///
+/// All methods have empty default bodies so partial sinks (e.g. a
+/// counters-only logger) stay terse.
+pub trait MetricsSink: Send + Sync + fmt::Debug {
+    /// Adds `delta` to `counter`.
+    fn add(&self, counter: Counter, delta: u64) {
+        let _ = (counter, delta);
+    }
+    /// Accumulates `nanos` of wall-clock time into `stage`.
+    fn record_time(&self, stage: Stage, nanos: u64) {
+        let _ = (stage, nanos);
+    }
+    /// Appends one objective-trajectory point.
+    fn record_point(&self, point: TrajectoryPoint) {
+        let _ = point;
+    }
+}
+
+/// A sink that drops everything. Useful as an explicit "instrumented but
+/// discarding" target in tests; for production, prefer a disabled
+/// [`MetricsHandle`], which skips the virtual call entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {}
+
+/// The standard in-memory sink: atomic counters, atomic per-stage time
+/// accumulators, and a trajectory vector.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    counters: [AtomicU64; Counter::ALL.len()],
+    stage_nanos: [AtomicU64; Stage::ALL.len()],
+    stage_calls: [AtomicU64; Stage::ALL.len()],
+    trajectory: Mutex<Vec<TrajectoryPoint>>,
+}
+
+impl Telemetry {
+    /// Creates an empty telemetry sink.
+    #[must_use]
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Current value of one counter.
+    #[must_use]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Accumulated nanoseconds of one stage.
+    #[must_use]
+    pub fn stage_nanos(&self, s: Stage) -> u64 {
+        self.stage_nanos[s as usize].load(Ordering::Relaxed)
+    }
+
+    /// Takes an owned snapshot of everything recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the trajectory
+    /// lock.
+    #[must_use]
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            counters: Counter::ALL.map(|c| self.counter(c)),
+            stage_nanos: Stage::ALL.map(|s| self.stage_nanos(s)),
+            stage_calls: Stage::ALL.map(|s| self.stage_calls[s as usize].load(Ordering::Relaxed)),
+            trajectory: self.trajectory.lock().expect("trajectory lock").clone(),
+        }
+    }
+}
+
+impl MetricsSink for Telemetry {
+    fn add(&self, counter: Counter, delta: u64) {
+        self.counters[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn record_time(&self, stage: Stage, nanos: u64) {
+        self.stage_nanos[stage as usize].fetch_add(nanos, Ordering::Relaxed);
+        self.stage_calls[stage as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_point(&self, point: TrajectoryPoint) {
+        self.trajectory.lock().expect("trajectory lock").push(point);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------------
+
+/// Cheap, cloneable fan-out handle over zero or more sinks.
+///
+/// The disabled handle (default) is an empty slice: every record method
+/// reduces to one branch, so instrumentation left in hot paths costs
+/// nothing when nobody listens.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsHandle {
+    sinks: Arc<[Arc<dyn MetricsSink>]>,
+}
+
+impl MetricsHandle {
+    /// The disabled handle: records nothing.
+    #[must_use]
+    pub fn disabled() -> MetricsHandle {
+        MetricsHandle::default()
+    }
+
+    /// A handle over one sink.
+    #[must_use]
+    pub fn of(sink: Arc<dyn MetricsSink>) -> MetricsHandle {
+        MetricsHandle {
+            sinks: Arc::from(vec![sink]),
+        }
+    }
+
+    /// A handle fanning out to this handle's sinks plus `sink`.
+    #[must_use]
+    pub fn and(&self, sink: Arc<dyn MetricsSink>) -> MetricsHandle {
+        let mut sinks: Vec<Arc<dyn MetricsSink>> = self.sinks.to_vec();
+        sinks.push(sink);
+        MetricsHandle {
+            sinks: Arc::from(sinks),
+        }
+    }
+
+    /// Whether any sink is attached.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Adds `delta` to `counter` on every sink.
+    #[inline]
+    pub fn add(&self, counter: Counter, delta: u64) {
+        for s in self.sinks.iter() {
+            s.add(counter, delta);
+        }
+    }
+
+    /// Increments `counter` by one on every sink.
+    #[inline]
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Accumulates stage time on every sink.
+    #[inline]
+    pub fn record_time(&self, stage: Stage, nanos: u64) {
+        for s in self.sinks.iter() {
+            s.record_time(stage, nanos);
+        }
+    }
+
+    /// Appends a trajectory point on every sink.
+    #[inline]
+    pub fn record_point(&self, point: TrajectoryPoint) {
+        for s in self.sinks.iter() {
+            s.record_point(point);
+        }
+    }
+
+    /// Runs `f`, charging its wall-clock time to `stage`. When the handle
+    /// is disabled no clock is read at all.
+    #[inline]
+    pub fn timed<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        if self.sinks.is_empty() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.record_time(stage, start.elapsed().as_nanos() as u64);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report + export
+// ---------------------------------------------------------------------------
+
+/// Owned snapshot of a [`Telemetry`] sink.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    counters: [u64; Counter::ALL.len()],
+    stage_nanos: [u64; Stage::ALL.len()],
+    stage_calls: [u64; Stage::ALL.len()],
+    trajectory: Vec<TrajectoryPoint>,
+}
+
+impl MetricsReport {
+    /// Value of one counter.
+    #[must_use]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Accumulated time of one stage, in nanoseconds.
+    #[must_use]
+    pub fn stage_nanos(&self, s: Stage) -> u64 {
+        self.stage_nanos[s as usize]
+    }
+
+    /// Accumulated time of one stage, in milliseconds.
+    #[must_use]
+    pub fn stage_ms(&self, s: Stage) -> f64 {
+        self.stage_nanos(s) as f64 / 1e6
+    }
+
+    /// Number of times one stage was recorded.
+    #[must_use]
+    pub fn stage_calls(&self, s: Stage) -> u64 {
+        self.stage_calls[s as usize]
+    }
+
+    /// The recorded objective trajectory, in recording order.
+    #[must_use]
+    pub fn trajectory(&self) -> &[TrajectoryPoint] {
+        &self.trajectory
+    }
+
+    /// Estimated parallel utilization of the window workers: total
+    /// thread-time spent solving windows divided by the wall-clock of the
+    /// `DistOpt` passes. 1.0 ≈ one core busy; values near the thread
+    /// count indicate full parallel occupancy. `None` when nothing was
+    /// timed.
+    #[must_use]
+    pub fn parallel_utilization(&self) -> Option<f64> {
+        let wall = self.stage_nanos(Stage::Perturb) + self.stage_nanos(Stage::Flip);
+        if wall == 0 {
+            return None;
+        }
+        Some(self.stage_nanos(Stage::WindowSolve) as f64 / wall as f64)
+    }
+
+    /// Serializes the report as a self-contained JSON object (schema:
+    /// DESIGN.md §"Observability").
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", c.name(), self.counter(*c)));
+        }
+        out.push_str("\n  },\n  \"stages_ms\": {");
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"ms\": {}, \"calls\": {}}}",
+                s.name(),
+                json_f64(self.stage_ms(*s)),
+                self.stage_calls(*s)
+            ));
+        }
+        out.push_str("\n  },\n  \"parallel_utilization\": ");
+        match self.parallel_utilization() {
+            Some(u) => out.push_str(&json_f64(u)),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"trajectory\": [");
+        for (i, p) in self.trajectory.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"param_set\": {}, \"iteration\": {}, \"objective\": {}, \"hpwl_nm\": {}, \"alignments\": {}}}",
+                p.param_set,
+                p.iteration,
+                json_f64(p.objective),
+                p.hpwl_nm,
+                p.alignments
+            ));
+        }
+        if !self.trajectory.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Serializes counters and stage times as `key,value` CSV lines
+    /// (counters in raw units, stages in milliseconds).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for c in Counter::ALL {
+            out.push_str(&format!("{},{}\n", c.name(), self.counter(c)));
+        }
+        for s in Stage::ALL {
+            out.push_str(&format!("{}_ms,{}\n", s.name(), json_f64(self.stage_ms(s))));
+        }
+        out
+    }
+}
+
+/// Formats a float as valid JSON (non-finite values become `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing_and_is_cheap() {
+        let h = MetricsHandle::disabled();
+        assert!(!h.is_enabled());
+        h.add(Counter::BbNodes, 5);
+        let out = h.timed(Stage::Vm1Opt, || 42);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn telemetry_accumulates_counters_and_times() {
+        let t = Arc::new(Telemetry::new());
+        let h = MetricsHandle::of(t.clone());
+        assert!(h.is_enabled());
+        h.add(Counter::SimplexPivots, 10);
+        h.add(Counter::SimplexPivots, 5);
+        h.incr(Counter::CacheHits);
+        h.record_time(Stage::Route, 2_000_000);
+        h.record_point(TrajectoryPoint {
+            param_set: 0,
+            iteration: 1,
+            objective: -3.5,
+            hpwl_nm: 1000,
+            alignments: 7,
+        });
+        let r = t.report();
+        assert_eq!(r.counter(Counter::SimplexPivots), 15);
+        assert_eq!(r.counter(Counter::CacheHits), 1);
+        assert_eq!(r.stage_nanos(Stage::Route), 2_000_000);
+        assert_eq!(r.stage_calls(Stage::Route), 1);
+        assert!((r.stage_ms(Stage::Route) - 2.0).abs() < 1e-9);
+        assert_eq!(r.trajectory().len(), 1);
+        assert_eq!(r.trajectory()[0].alignments, 7);
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(Telemetry::new());
+        let b = Arc::new(Telemetry::new());
+        let h = MetricsHandle::of(a.clone()).and(b.clone());
+        h.add(Counter::BbNodes, 3);
+        assert_eq!(a.counter(Counter::BbNodes), 3);
+        assert_eq!(b.counter(Counter::BbNodes), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let t = Arc::new(Telemetry::new());
+        let h = MetricsHandle::of(t.clone());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.incr(Counter::DfsNodes);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.counter(Counter::DfsNodes), 8000);
+    }
+
+    #[test]
+    fn json_export_is_well_formed_and_complete() {
+        let t = Telemetry::new();
+        t.add(Counter::BbNodes, 12);
+        t.record_time(Stage::MilpSolve, 1_500_000);
+        t.record_point(TrajectoryPoint {
+            param_set: 0,
+            iteration: 0,
+            objective: 123.25,
+            hpwl_nm: 9,
+            alignments: 2,
+        });
+        let json = t.report().to_json();
+        for c in Counter::ALL {
+            assert!(json.contains(&format!("\"{}\"", c.name())), "{}", c.name());
+        }
+        for s in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\"", s.name())), "{}", s.name());
+        }
+        assert!(json.contains("\"bb_nodes\": 12"));
+        assert!(json.contains("\"objective\": 123.25"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_export_has_one_line_per_metric() {
+        let t = Telemetry::new();
+        let csv = t.report().to_csv();
+        let lines = csv.lines().count();
+        assert_eq!(lines, 1 + Counter::ALL.len() + Stage::ALL.len());
+        assert!(csv.starts_with("metric,value\n"));
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn counter_and_stage_discriminants_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+        }
+    }
+}

@@ -113,9 +113,7 @@ fn pack_row(design: &Design, members: &[InstId], sites: i64) -> Result<Vec<i64>,
         .collect();
     let total: i64 = widths.iter().sum();
     if total > sites {
-        return Err(DesignError::OutOfCore(
-            design.inst(members[0]).name.clone(),
-        ));
+        return Err(DesignError::OutOfCore(design.inst(members[0]).name.clone()));
     }
 
     let mut clusters: Vec<Cluster> = Vec::new();
@@ -150,9 +148,7 @@ fn pack_row(design: &Design, members: &[InstId], sites: i64) -> Result<Vec<i64>,
 
     let mut out = vec![0i64; members.len()];
     for (k, c) in clusters.iter().enumerate() {
-        let end = clusters
-            .get(k + 1)
-            .map_or(members.len(), |nxt| nxt.first);
+        let end = clusters.get(k + 1).map_or(members.len(), |nxt| nxt.first);
         let mut x = c.x;
         for i in c.first..end {
             out[i] = x;
@@ -224,8 +220,7 @@ mod tests {
         }
         legalize_abacus(&mut d).unwrap();
         d.validate_placement().unwrap();
-        let rows_used: std::collections::HashSet<i64> =
-            d.insts().map(|(_, i)| i.row).collect();
+        let rows_used: std::collections::HashSet<i64> = d.insts().map(|(_, i)| i.row).collect();
         assert_eq!(rows_used.len(), 2, "third cell spills to row 1");
     }
 

@@ -110,7 +110,11 @@ fn centroid_targets(design: &Design, max_degree: usize) -> Vec<(f64, f64)> {
 /// Packs instances into rows following `order` (already sorted by desired
 /// y); within each row instances are sorted by `target_x` and whitespace is
 /// distributed evenly. Produces a legal placement.
-fn pack_rows(design: &mut Design, order: &[InstId], target_x: &mut dyn FnMut(InstId, &Design) -> f64) {
+fn pack_rows(
+    design: &mut Design,
+    order: &[InstId],
+    target_x: &mut dyn FnMut(InstId, &Design) -> f64,
+) {
     let num_rows = design.num_rows;
     let sites_per_row = design.sites_per_row;
     let widths: Vec<i64> = order
@@ -217,10 +221,7 @@ mod tests {
         place(&mut d, &PlaceConfig::default(), 5);
         d.validate_placement().expect("legal placement");
         let after = d.total_hpwl();
-        assert!(
-            after < before,
-            "HPWL should improve: {before} -> {after}"
-        );
+        assert!(after < before, "HPWL should improve: {before} -> {after}");
         // Expect a substantial improvement over random.
         assert!((after.nm() as f64) < 0.8 * before.nm() as f64);
     }

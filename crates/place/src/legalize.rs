@@ -52,7 +52,7 @@ fn find_nearest_span(
     let num_rows = design.num_rows;
     let sites = design.sites_per_row;
     let mut best: Option<(i64, i64, i64)> = None; // (cost, site, row)
-    // Expand row search outward from the wanted row.
+                                                  // Expand row search outward from the wanted row.
     for dr in 0..num_rows {
         for row in candidate_rows(want_row, dr, num_rows) {
             if let Some((cost_so_far, _, _)) = best {

@@ -67,7 +67,7 @@ pub fn greedy_refine(design: &mut Design, max_disp: i64, passes: usize) -> Refin
                     }
                     design.move_inst(id, s, row, orient);
                     let cost = nets_hpwl(design, &nets);
-                    if cost < base && best.map_or(true, |(b, _, _)| cost < b) {
+                    if cost < base && best.is_none_or(|(b, _, _)| cost < b) {
                         best = Some((cost, s, orient));
                     }
                 }
@@ -137,9 +137,17 @@ mod tests {
         let mut d = placed(100, 3);
         let victim = InstId(0);
         d.inst_mut(victim).fixed = true;
-        let pos = (d.inst(victim).site, d.inst(victim).row, d.inst(victim).orient);
+        let pos = (
+            d.inst(victim).site,
+            d.inst(victim).row,
+            d.inst(victim).orient,
+        );
         let _ = greedy_refine(&mut d, 4, 2);
-        let now = (d.inst(victim).site, d.inst(victim).row, d.inst(victim).orient);
+        let now = (
+            d.inst(victim).site,
+            d.inst(victim).row,
+            d.inst(victim).orient,
+        );
         assert_eq!(pos, now);
     }
 

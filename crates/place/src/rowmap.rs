@@ -32,11 +32,11 @@ pub struct RowMap {
 
 impl RowMap {
     /// Assembles an index from raw parts (crate-internal).
-    pub(crate) fn from_parts(
-        rows: Vec<Vec<(i64, i64, InstId)>>,
-        sites_per_row: i64,
-    ) -> RowMap {
-        RowMap { rows, sites_per_row }
+    pub(crate) fn from_parts(rows: Vec<Vec<(i64, i64, InstId)>>, sites_per_row: i64) -> RowMap {
+        RowMap {
+            rows,
+            sites_per_row,
+        }
     }
 
     /// Builds the occupancy index from the current placement.

@@ -247,7 +247,11 @@ impl RoutingGrid {
         let per = self.width * self.tracks;
         let l = id as i64 / per;
         let rem = id as i64 % per;
-        (Layer::from_index(l as usize), rem % self.width, rem / self.width)
+        (
+            Layer::from_index(l as usize),
+            rem % self.width,
+            rem / self.width,
+        )
     }
 
     /// Whether the node is free to route through, treating nodes in
@@ -443,7 +447,11 @@ mod tests {
         // Minimal valid net so build() succeeds.
         let n = d.add_net("n");
         d.connect(u, "ZN", n);
-        let p = d.add_port("o", vm1_geom::Point::new(Dbu(0), Dbu(0)), vm1_tech::PinDir::Out);
+        let p = d.add_port(
+            "o",
+            vm1_geom::Point::new(Dbu(0), Dbu(0)),
+            vm1_tech::PinDir::Out,
+        );
         d.connect_port(p, n);
         let (g, _) = RoutingGrid::build(&d);
         // Pin A is at cell column 1 => absolute column 6, row 1 tracks 7..14.
@@ -464,7 +472,11 @@ mod tests {
         d.move_inst(u, 5, 0, Orient::North);
         let n = d.add_net("n");
         d.connect(u, "ZN", n);
-        let p = d.add_port("o", vm1_geom::Point::new(Dbu(0), Dbu(0)), vm1_tech::PinDir::Out);
+        let p = d.add_port(
+            "o",
+            vm1_geom::Point::new(Dbu(0), Dbu(0)),
+            vm1_tech::PinDir::Out,
+        );
         d.connect_port(p, n);
         let (g, _) = RoutingGrid::build(&d);
         // Every column of the cell footprint is blocked (PG rails).

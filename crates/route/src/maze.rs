@@ -211,18 +211,18 @@ pub fn search(
         if layer != Layer::M0 {
             match layer.dir() {
                 LayerDir::Horizontal => {
-                    if x + 1 <= bbox.x_hi {
+                    if x < bbox.x_hi {
                         try_neighbor(grid.node(layer, x + 1, y), grid.pitch_x, grid);
                     }
-                    if x - 1 >= bbox.x_lo {
+                    if x > bbox.x_lo {
                         try_neighbor(grid.node(layer, x - 1, y), grid.pitch_x, grid);
                     }
                 }
                 LayerDir::Vertical => {
-                    if y + 1 <= bbox.y_hi {
+                    if y < bbox.y_hi {
                         try_neighbor(grid.node(layer, x, y + 1), grid.pitch_y, grid);
                     }
-                    if y - 1 >= bbox.y_lo {
+                    if y > bbox.y_lo {
                         try_neighbor(grid.node(layer, x, y - 1), grid.pitch_y, grid);
                     }
                 }

@@ -238,7 +238,8 @@ fn route_net(
         let mut done = false;
         if cfg.enable_dm1 && tech.arch.allows_inter_row_m1() {
             for &q in &connected {
-                if let Some(plan) = try_dm1(grid, &pins[q], target, &allowed, tech.gamma, tech.delta)
+                if let Some(plan) =
+                    try_dm1(grid, &pins[q], target, &allowed, tech.gamma, tech.delta)
                 {
                     commit_dm1(grid, &plan, &mut out, &mut tree_nodes);
                     done = true;
@@ -300,7 +301,12 @@ fn tree_bbox(grid: &RoutingGrid, tree: &[NodeId], target: &PinAccess) -> SearchB
         y_lo = y_lo.min(y);
         y_hi = y_hi.max(y);
     }
-    SearchBox { x_lo, x_hi, y_lo, y_hi }
+    SearchBox {
+        x_lo,
+        x_hi,
+        y_lo,
+        y_hi,
+    }
 }
 
 /// A feasible direct vertical M1 route between two pins.
@@ -382,7 +388,9 @@ fn try_dm1(
             if !allowed.contains(&m0) {
                 continue 'col;
             }
-            let e = grid.edge_between(m0, grid.node(Layer::M1, c, y_a)).expect("V01");
+            let e = grid
+                .edge_between(m0, grid.node(Layer::M1, c, y_a))
+                .expect("V01");
             if grid.usage(e) > 0 {
                 continue 'col;
             }
@@ -392,7 +400,9 @@ fn try_dm1(
             if !allowed.contains(&m0) {
                 continue 'col;
             }
-            let e = grid.edge_between(m0, grid.node(Layer::M1, c, y_b)).expect("V01");
+            let e = grid
+                .edge_between(m0, grid.node(Layer::M1, c, y_b))
+                .expect("V01");
             if grid.usage(e) > 0 {
                 continue 'col;
             }
@@ -400,7 +410,13 @@ fn try_dm1(
             // M1 pin: the segment endpoint must belong to the pin's own
             // column (guaranteed when c is in the pin's col range).
         }
-        return Some(DmPlan { col: c, y_a, y_b, via_a, via_b });
+        return Some(DmPlan {
+            col: c,
+            y_a,
+            y_b,
+            via_a,
+            via_b,
+        });
     }
     None
 }
@@ -462,7 +478,9 @@ fn commit_path(
     let mut m1_runs = 0usize;
     let mut non_pin_via = false;
     for w in path.windows(2) {
-        let e = grid.edge_between(w[0], w[1]).expect("path edges are adjacent");
+        let e = grid
+            .edge_between(w[0], w[1])
+            .expect("path edges are adjacent");
         grid.add_usage(e, 1);
         out.edges.push(e);
         if let Edge::Via(_) = e {
@@ -476,13 +494,18 @@ fn commit_path(
     // Compress into straight segments.
     let mut run_start = 0usize;
     for k in 1..=path.len() {
-        let end_run = k == path.len()
-            || grid.coords(path[k]).0 != grid.coords(path[run_start]).0;
+        let end_run = k == path.len() || grid.coords(path[k]).0 != grid.coords(path[run_start]).0;
         if end_run {
             let (layer, x0, y0) = grid.coords(path[run_start]);
             let (_, x1, y1) = grid.coords(path[k - 1]);
             if (x0, y0) != (x1, y1) {
-                out.segments.push(Segment { layer, x0, y0, x1, y1 });
+                out.segments.push(Segment {
+                    layer,
+                    x0,
+                    y0,
+                    x1,
+                    y1,
+                });
                 if layer == Layer::M1 {
                     m1_runs += 1;
                 }
@@ -493,19 +516,12 @@ fn commit_path(
     // A maze path that happens to be exactly one M1 segment with only pin
     // vias also counts as a direct vertical M1 route — within the same
     // γ-row span the metric uses everywhere else.
-    let wire_layers: HashSet<usize> = out
-        .segments
-        .iter()
-        .map(|s| s.layer.index())
-        .collect();
+    let wire_layers: HashSet<usize> = out.segments.iter().map(|s| s.layer.index()).collect();
     let span_ok = out
         .segments
         .last()
-        .map_or(false, |s| (s.y1 - s.y0).abs() <= max_dm1_span_tracks);
-    if m1_runs == 1
-        && !non_pin_via
-        && span_ok
-        && wire_layers == HashSet::from([Layer::M1.index()])
+        .is_some_and(|s| (s.y1 - s.y0).abs() <= max_dm1_span_tracks);
+    if m1_runs == 1 && !non_pin_via && span_ok && wire_layers == HashSet::from([Layer::M1.index()])
     {
         out.dm1 += 1;
     }

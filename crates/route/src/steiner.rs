@@ -88,7 +88,7 @@ pub fn rsmt_length(points: &[Point]) -> Dbu {
                         pts.push(cand);
                         let len = rmst_length(&pts);
                         pts.pop();
-                        if len < best && improved.as_ref().map_or(true, |&(_, l)| len < l) {
+                        if len < best && improved.as_ref().is_none_or(|&(_, l)| len < l) {
                             improved = Some((cand, len));
                         }
                     }

@@ -6,7 +6,6 @@
 
 use std::collections::HashMap;
 use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
-use vm1_netlist::Design;
 use vm1_place::{place, PlaceConfig};
 use vm1_route::{route, RouterConfig, RoutingGrid, Segment};
 use vm1_tech::{CellArch, Layer, Library};
@@ -84,10 +83,7 @@ fn check_connectivity(arch: CellArch, n: usize, seed: u64) {
         for s in &nr.segments {
             let nodes = seg_nodes(s);
             for w in nodes.windows(2) {
-                dsu.union(
-                    key(w[0].0, w[0].1, w[0].2),
-                    key(w[1].0, w[1].1, w[1].2),
-                );
+                dsu.union(key(w[0].0, w[0].1, w[0].2), key(w[1].0, w[1].1, w[1].2));
             }
         }
         // Vias connect the two layers at a point. The route result keeps
@@ -141,7 +137,8 @@ fn check_connectivity(arch: CellArch, n: usize, seed: u64) {
             match root {
                 None => root = Some(r),
                 Some(r0) => assert_eq!(
-                    r0, r,
+                    r0,
+                    r,
                     "net {} ({} pins): disconnected terminal",
                     net.name,
                     net.pins.len()
@@ -196,7 +193,12 @@ fn steiner_estimate_bounds_routed_wirelength() {
         let rsmt = rsmt_length(&pts);
         let rmst = rmst_length(&pts);
         assert!(rsmt <= rmst);
-        let routed: i64 = result.net(id).segments.iter().map(|s| s.len_nm(&grid)).sum();
+        let routed: i64 = result
+            .net(id)
+            .segments
+            .iter()
+            .map(|s| s.len_nm(&grid))
+            .sum();
         // Grid snapping can shave sub-pitch amounts off the ideal length;
         // allow one pitch of slack per pin.
         let slack = 48 * net.pins.len() as i64 + 360;

@@ -1,6 +1,6 @@
 use crate::Layer;
-use vm1_geom::{Dbu, Interval, Orient, Rect};
 use std::fmt;
+use vm1_geom::{Dbu, Interval, Orient, Rect};
 
 /// Logical function of a standard cell, used by the netlist generator and
 /// the timing model.
@@ -293,9 +293,9 @@ mod tests {
             width: Dbu(192),
             height: Dbu(360),
             pins: vec![
-                pin("A", PinDir::In, Layer::M1, 66, 78),    // col 1
-                pin("B", PinDir::In, Layer::M1, 114, 126),  // col 2
-                pin("ZN", PinDir::Out, Layer::M1, 162, 174), // col 3
+                pin("A", PinDir::In, Layer::M1, 66, 78),      // col 1
+                pin("B", PinDir::In, Layer::M1, 114, 126),    // col 2
+                pin("ZN", PinDir::Out, Layer::M1, 162, 174),  // col 3
                 pin("VDD", PinDir::Power, Layer::M1, 18, 30), // col 0
             ],
             m1_blockages: vec![],
@@ -351,15 +351,17 @@ mod tests {
         let sw = Dbu(48);
         assert_eq!(c.m1_blocked_cols(Orient::North, sw), vec![0, 1, 2, 3]);
         // Under flip, col k becomes width_sites-1-k, same set here (symmetric).
-        assert_eq!(c.m1_blocked_cols(Orient::FlippedNorth, sw), vec![0, 1, 2, 3]);
+        assert_eq!(
+            c.m1_blocked_cols(Orient::FlippedNorth, sw),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
     fn m1_blockage_rects_block() {
         let mut c = test_cell();
         c.pins.truncate(1); // only pin A at col 1
-        c.m1_blockages
-            .push(Rect::from_nm(150, 0, 160, 360)); // col 3
+        c.m1_blockages.push(Rect::from_nm(150, 0, 160, 360)); // col 3
         let cols = c.m1_blocked_cols(Orient::North, Dbu(48));
         assert_eq!(cols, vec![1, 3]);
     }

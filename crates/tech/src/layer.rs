@@ -67,7 +67,7 @@ impl Layer {
     /// Preferred routing direction.
     #[must_use]
     pub fn dir(self) -> LayerDir {
-        if self.index() % 2 == 0 {
+        if self.index().is_multiple_of(2) {
             LayerDir::Horizontal
         } else {
             LayerDir::Vertical

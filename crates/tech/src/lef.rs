@@ -47,7 +47,11 @@ pub fn write_lef(library: &Library) -> String {
             let _ = writeln!(out, "  PIN {}", pin.name);
             let _ = writeln!(out, "    DIRECTION {dir} ;");
             if pin.dir == PinDir::Power {
-                let use_kw = if pin.name.contains("DD") { "POWER" } else { "GROUND" };
+                let use_kw = if pin.name.contains("DD") {
+                    "POWER"
+                } else {
+                    "GROUND"
+                };
                 let _ = writeln!(out, "    USE {use_kw} ;");
             }
             let r = pin.shape.rect;

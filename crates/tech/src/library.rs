@@ -172,11 +172,12 @@ fn m0_pin_rect(tech: &Technology, c0: i64, c1: i64, band: i64) -> Rect {
 fn build_cell(tech: &Technology, function: Function, drive: u8, width_sites: i64) -> MacroCell {
     let width = tech.site_width * width_sites;
     let height = tech.row_height;
-    let base_cap = 0.6 * match drive {
-        1 => 1.0,
-        2 => 1.4,
-        d => 1.0 + 0.4 * f64::from(d - 1),
-    };
+    let base_cap = 0.6
+        * match drive {
+            1 => 1.0,
+            2 => 1.4,
+            d => 1.0 + 0.4 * f64::from(d - 1),
+        };
 
     let inputs = function.input_names();
     let out = function.output_name();
@@ -323,10 +324,7 @@ mod tests {
                 assert_eq!(cell.width, lib.tech().site_width * cell.width_sites);
                 assert_eq!(cell.height, lib.tech().row_height);
                 // One output pin, the right number of inputs.
-                assert_eq!(
-                    cell.pins.iter().filter(|p| p.dir == PinDir::Out).count(),
-                    1
-                );
+                assert_eq!(cell.pins.iter().filter(|p| p.dir == PinDir::Out).count(), 1);
                 assert_eq!(
                     cell.pins.iter().filter(|p| p.dir == PinDir::In).count(),
                     cell.function.num_inputs()

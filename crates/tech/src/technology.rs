@@ -81,7 +81,7 @@ impl Technology {
     pub fn for_arch(arch: CellArch) -> Technology {
         let site_width = Dbu(48);
         let row_height = match arch {
-            CellArch::Conv12T => Dbu(576),       // 12 tracks
+            CellArch::Conv12T => Dbu(576),                     // 12 tracks
             CellArch::ClosedM1 | CellArch::OpenM1 => Dbu(360), // 7.5 tracks
         };
         Technology {
@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn row_heights_by_arch() {
         assert_eq!(Technology::for_arch(CellArch::Conv12T).row_height, Dbu(576));
-        assert_eq!(Technology::for_arch(CellArch::ClosedM1).row_height, Dbu(360));
+        assert_eq!(
+            Technology::for_arch(CellArch::ClosedM1).row_height,
+            Dbu(360)
+        );
         assert_eq!(Technology::for_arch(CellArch::OpenM1).row_height, Dbu(360));
     }
 

@@ -41,7 +41,11 @@ pub fn power(design: &Design, routes: Option<&RouteResult>, clock_period_ps: f64
     let mut switching_uw = 0.0;
     for (id, net) in design.nets() {
         // The clock toggles every cycle (activity 1); data nets at α.
-        let activity = if net.name == "clk_net" { 1.0 } else { e.activity };
+        let activity = if net.name == "clk_net" {
+            1.0
+        } else {
+            e.activity
+        };
         switching_uw += activity * net_load_ff(design, routes, id) * vdd2 * f_ghz;
     }
 
@@ -49,7 +53,11 @@ pub fn power(design: &Design, routes: Option<&RouteResult>, clock_period_ps: f64
     let mut leakage_nw = 0.0;
     for (_, inst) in design.insts() {
         let cell = design.library().cell(inst.cell);
-        let activity = if cell.function.is_sequential() { 0.5 } else { e.activity };
+        let activity = if cell.function.is_sequential() {
+            0.5
+        } else {
+            e.activity
+        };
         internal_uw += activity * cell.timing.internal_fj * f_ghz;
         leakage_nw += cell.timing.leakage_nw;
     }

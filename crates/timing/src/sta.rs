@@ -67,7 +67,11 @@ fn arrivals_with_order(
     routes: Option<&RouteResult>,
 ) -> Result<(Vec<f64>, Vec<InstId>), TimingError> {
     let clk_q_ps = |inst: InstId| -> f64 {
-        design.library().cell(design.inst(inst).cell).timing.intrinsic_ps
+        design
+            .library()
+            .cell(design.inst(inst).cell)
+            .timing
+            .intrinsic_ps
     };
 
     let mut arr_net: Vec<f64> = vec![f64::NAN; design.num_nets()];
@@ -92,12 +96,12 @@ fn arrivals_with_order(
     let mut ready: VecDeque<InstId> = VecDeque::new();
     let mut resolved = vec![false; design.num_nets()];
     let resolve = |net: NetId,
-                       arr: f64,
-                       arr_net: &mut Vec<f64>,
-                       resolved: &mut Vec<bool>,
-                       indeg: &mut Vec<usize>,
-                       ready: &mut VecDeque<InstId>,
-                       design: &Design| {
+                   arr: f64,
+                   arr_net: &mut Vec<f64>,
+                   resolved: &mut Vec<bool>,
+                   indeg: &mut Vec<usize>,
+                   ready: &mut VecDeque<InstId>,
+                   design: &Design| {
         if resolved[net.0] {
             return;
         }
@@ -119,7 +123,15 @@ fn arrivals_with_order(
     for (id, _) in design.nets() {
         match design.net_driver(id) {
             Some(NetPin::Port(_)) => {
-                resolve(id, 0.0, &mut arr_net, &mut resolved, &mut indeg, &mut ready, design);
+                resolve(
+                    id,
+                    0.0,
+                    &mut arr_net,
+                    &mut resolved,
+                    &mut indeg,
+                    &mut ready,
+                    design,
+                );
             }
             Some(NetPin::Inst(pr)) => {
                 let inst = design.inst(pr.inst);
@@ -128,7 +140,15 @@ fn arrivals_with_order(
                     let arr = clk_q_ps(pr.inst)
                         + design.library().cell(inst.cell).timing.drive_res
                             * net_load_ff(design, routes, id);
-                    resolve(id, arr, &mut arr_net, &mut resolved, &mut indeg, &mut ready, design);
+                    resolve(
+                        id,
+                        arr,
+                        &mut arr_net,
+                        &mut resolved,
+                        &mut indeg,
+                        &mut ready,
+                        design,
+                    );
                 }
             }
             None => {}
@@ -160,7 +180,10 @@ fn arrivals_with_order(
             }
             if let Some(net) = inst.pin_nets[k] {
                 let base = arr_net[net.0];
-                let sink = NetPin::Inst(vm1_netlist::PinRef { inst: inst_id, pin: k });
+                let sink = NetPin::Inst(vm1_netlist::PinRef {
+                    inst: inst_id,
+                    pin: k,
+                });
                 let wire = wire_delay_ps(design, routes, net, sink);
                 worst_in = worst_in.max(base + wire);
             }
@@ -263,7 +286,10 @@ pub fn net_slacks(
         for (k, pin) in cell.pins.iter().enumerate() {
             if pin.dir == PinDir::In && pin.name != "CK" {
                 if let Some(net) = inst.pin_nets[k] {
-                    let sink = NetPin::Inst(vm1_netlist::PinRef { inst: inst_id, pin: k });
+                    let sink = NetPin::Inst(vm1_netlist::PinRef {
+                        inst: inst_id,
+                        pin: k,
+                    });
                     let wire = wire_delay_ps(design, routes, net, sink);
                     tighten(net, out_req - out_delay - wire, &mut req);
                 }
@@ -422,10 +448,7 @@ mod tests {
         // Scatter destroys placement quality => longer wires => slower.
         vm1_place::scatter(&mut d, 123);
         let scattered = min_clock_period(&d, None).unwrap();
-        assert!(
-            scattered > base,
-            "scattered {scattered} vs placed {base}"
-        );
+        assert!(scattered > base, "scattered {scattered} vs placed {base}");
     }
 
     #[test]
@@ -474,7 +497,11 @@ mod slack_tests {
         let worst = slacks.iter().copied().fold(f64::INFINITY, f64::min);
         // Net slacks include the endpooint wire-delay model, so the worst
         // net slack equals the endpoint WNS within tolerance.
-        assert!((worst - rep.wns_ps).abs() < 1.0, "worst {worst} vs wns {}", rep.wns_ps);
+        assert!(
+            (worst - rep.wns_ps).abs() < 1.0,
+            "worst {worst} vs wns {}",
+            rep.wns_ps
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cargo run --release --example closedm1_congestion
 //! ```
 
-use vm1_core::{vm1opt, Vm1Config};
+use vm1_core::{Vm1Config, Vm1Optimizer};
 use vm1_flow::{build_testcase, measure, FlowConfig};
 use vm1_netlist::generator::DesignProfile;
 use vm1_tech::CellArch;
@@ -25,7 +25,7 @@ fn main() {
         let cfg = Vm1Config::closedm1();
 
         let (init, _) = measure(&tc, &cfg);
-        vm1opt(&mut tc.design, &cfg);
+        Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
         let (fin, _) = measure(&tc, &cfg);
 
         println!(
@@ -38,8 +38,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "Direct vertical M1 routes are 'free' routing resource for ClosedM1: more dM1"
-    );
+    println!("Direct vertical M1 routes are 'free' routing resource for ClosedM1: more dM1");
     println!("means fewer M2+ detours, which is what relieves the congestion hotspots.");
 }

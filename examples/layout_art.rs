@@ -9,7 +9,7 @@
 //! cargo run --release --example layout_art
 //! ```
 
-use vm1_core::{count_alignments, vm1opt, ParamSet, Vm1Config};
+use vm1_core::{count_alignments, ParamSet, Vm1Config, Vm1Optimizer};
 use vm1_flow::viz::render_placement;
 use vm1_flow::{build_testcase, FlowConfig};
 use vm1_netlist::generator::DesignProfile;
@@ -28,7 +28,7 @@ fn main() {
     );
     println!("{}", render_placement(&tc.design, &cfg, 100));
 
-    vm1opt(&mut tc.design, &cfg);
+    Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
 
     println!(
         "after  ({} alignable pairs):",

@@ -33,10 +33,11 @@ fn main() {
         w_sites: design.sites_per_row.min(40),
         h_rows: design.num_rows.min(4),
     };
-    let movable: Vec<_> = WindowProblem::movable_in_window(&design, &rowmap, &window, &Overrides::new())
-        .into_iter()
-        .take(6)
-        .collect();
+    let movable: Vec<_> =
+        WindowProblem::movable_in_window(&design, &rowmap, &window, &Overrides::new())
+            .into_iter()
+            .take(6)
+            .collect();
     let prob = WindowProblem::build(
         &design,
         &rowmap,
@@ -77,8 +78,14 @@ fn main() {
     let dfs_assign = dfs_solve(&prob, 1_000_000);
     println!("\ncross-check:");
     println!("  input placement objective : {:.1}", prob.eval(&cur));
-    println!("  MILP solution objective   : {:.1}", prob.eval(&milp_assign));
-    println!("  DFS  solution objective   : {:.1}", prob.eval(&dfs_assign));
+    println!(
+        "  MILP solution objective   : {:.1}",
+        prob.eval(&milp_assign)
+    );
+    println!(
+        "  DFS  solution objective   : {:.1}",
+        prob.eval(&dfs_assign)
+    );
     assert!((prob.eval(&milp_assign) - prob.eval(&dfs_assign)).abs() < 1e-6);
     println!("  MILP and DFS agree on the optimum ✓");
 }

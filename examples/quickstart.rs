@@ -36,13 +36,46 @@ fn main() {
 
     println!();
     println!("                         Init        Final");
-    println!("#dM1                {:>9}    {:>9}  ({:.1}x)", row.init.dm1, row.fin.dm1, row.dm1_ratio());
-    println!("alignable pairs     {:>9}    {:>9}", row.init.alignments, row.fin.alignments);
-    println!("M1 WL (um)          {:>9.1}    {:>9.1}", row.init.m1_wl.to_um(), row.fin.m1_wl.to_um());
-    println!("#via12              {:>9}    {:>9}  ({:+.1}%)", row.init.via12, row.fin.via12, row.via12_delta_pct());
-    println!("HPWL (um)           {:>9.1}    {:>9.1}  ({:+.1}%)", row.init.hpwl.to_um(), row.fin.hpwl.to_um(), row.hpwl_delta_pct());
-    println!("routed WL (um)      {:>9.1}    {:>9.1}  ({:+.1}%)", row.init.rwl.to_um(), row.fin.rwl.to_um(), row.rwl_delta_pct());
-    println!("WNS (ns)            {:>9.3}    {:>9.3}", row.init.wns_ns, row.fin.wns_ns);
-    println!("power (mW)          {:>9.3}    {:>9.3}", row.init.power_mw, row.fin.power_mw);
+    println!(
+        "#dM1                {:>9}    {:>9}  ({:.1}x)",
+        row.init.dm1,
+        row.fin.dm1,
+        row.dm1_ratio()
+    );
+    println!(
+        "alignable pairs     {:>9}    {:>9}",
+        row.init.alignments, row.fin.alignments
+    );
+    println!(
+        "M1 WL (um)          {:>9.1}    {:>9.1}",
+        row.init.m1_wl.to_um(),
+        row.fin.m1_wl.to_um()
+    );
+    println!(
+        "#via12              {:>9}    {:>9}  ({:+.1}%)",
+        row.init.via12,
+        row.fin.via12,
+        row.via12_delta_pct()
+    );
+    println!(
+        "HPWL (um)           {:>9.1}    {:>9.1}  ({:+.1}%)",
+        row.init.hpwl.to_um(),
+        row.fin.hpwl.to_um(),
+        row.hpwl_delta_pct()
+    );
+    println!(
+        "routed WL (um)      {:>9.1}    {:>9.1}  ({:+.1}%)",
+        row.init.rwl.to_um(),
+        row.fin.rwl.to_um(),
+        row.rwl_delta_pct()
+    );
+    println!(
+        "WNS (ns)            {:>9.3}    {:>9.3}",
+        row.init.wns_ns, row.fin.wns_ns
+    );
+    println!(
+        "power (mW)          {:>9.3}    {:>9.3}",
+        row.init.power_mw, row.fin.power_mw
+    );
     println!("optimizer runtime   {:>9} ms", row.runtime_ms);
 }

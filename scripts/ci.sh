@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Workspace CI gate: formatting, lints, build, tests.
+#
+# Everything here works fully offline — the workspace's only external
+# dev-dependencies (proptest, criterion) are local shim crates, so no
+# registry access is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "CI OK"

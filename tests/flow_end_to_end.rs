@@ -2,9 +2,7 @@
 //! must execute end-to-end and reproduce the paper's qualitative
 //! direction at toy scale.
 
-use vm1_flow::experiments::{
-    expt_a1, expt_a2, expt_a3, expt_b, expt_fig8, ExperimentScale,
-};
+use vm1_flow::experiments::{expt_a1, expt_a2, expt_a3, expt_b, expt_fig8, ExperimentScale};
 use vm1_tech::CellArch;
 
 #[test]
@@ -63,5 +61,8 @@ fn figure8_smoke_runs() {
     assert_eq!(rows.len(), 1);
     let r = &rows[0];
     assert!(r.dm1_opt > 0);
-    assert!(r.drvs_opt <= r.drvs_orig + 2, "optimization must not blow up DRVs");
+    assert!(
+        r.drvs_opt <= r.drvs_orig + 2,
+        "optimization must not blow up DRVs"
+    );
 }

@@ -2,7 +2,7 @@
 //! → timer chains, invariants that span module boundaries, and the
 //! paper's qualitative claims on small designs.
 
-use vm1_core::{calculate_obj, count_alignments, vm1opt, ParamSet, SolverKind, Vm1Config};
+use vm1_core::{calculate_obj, count_alignments, ParamSet, SolverKind, Vm1Config, Vm1Optimizer};
 use vm1_flow::{build_testcase, measure, optimize_and_measure, FlowConfig};
 use vm1_netlist::generator::DesignProfile;
 use vm1_netlist::io::{read_def, write_def};
@@ -32,7 +32,7 @@ fn objective_decreases_monotonically_through_vm1opt() {
     let mut tc = build_testcase(&flow(CellArch::ClosedM1, 2));
     let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
     let before = calculate_obj(&tc.design, &cfg).value;
-    let stats = vm1opt(&mut tc.design, &cfg);
+    let stats = Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
     let after = calculate_obj(&tc.design, &cfg).value;
     assert!(after <= before + 1e-6);
     assert_eq!(stats.final_obj, after);
@@ -43,7 +43,7 @@ fn objective_decreases_monotonically_through_vm1opt() {
 fn optimized_placement_survives_def_round_trip() {
     let mut tc = build_testcase(&flow(CellArch::ClosedM1, 3));
     let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 2, 1)]);
-    vm1opt(&mut tc.design, &cfg);
+    Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
     let lib = Library::synthetic_7nm(CellArch::ClosedM1);
     let text = write_def(&tc.design);
     let back = read_def(&text, &lib).expect("round trip");
@@ -65,7 +65,7 @@ fn alignment_count_predicts_dm1_gain() {
     let mut tc = build_testcase(&flow(CellArch::ClosedM1, 4));
     let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
     let (init, _) = measure(&tc, &cfg);
-    vm1opt(&mut tc.design, &cfg);
+    Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
     let (fin, _) = measure(&tc, &cfg);
     let d_align = fin.alignments as i64 - init.alignments as i64;
     let d_dm1 = fin.dm1 as i64 - init.dm1 as i64;
@@ -108,8 +108,8 @@ fn milp_and_dfs_solvers_agree_end_to_end() {
     cfg_milp.max_cells_per_milp = 4; // keep the MILP runs small
     let mut cfg_dfs = cfg_dfs;
     cfg_dfs.max_cells_per_milp = 4;
-    let s1 = vm1opt(&mut d_dfs, &cfg_dfs);
-    let s2 = vm1opt(&mut d_milp, &cfg_milp);
+    let s1 = Vm1Optimizer::new(cfg_dfs.clone()).run(&mut d_dfs);
+    let s2 = Vm1Optimizer::new(cfg_milp.clone()).run(&mut d_milp);
     // Both engines are exact per window (asserted variable-by-variable in
     // vm1-core's solver tests), but ties between equal optima may be
     // broken differently, so the end-to-end trajectories can diverge
@@ -149,7 +149,7 @@ fn fixed_cells_are_never_moved_by_the_optimizer() {
         })
         .collect();
     let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
-    vm1opt(&mut tc.design, &cfg);
+    Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
     for (&v, &b) in victims.iter().zip(&before) {
         let i = tc.design.inst(v);
         assert_eq!((i.site, i.row, i.orient), b, "fixed cell moved");
