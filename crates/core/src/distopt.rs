@@ -34,18 +34,26 @@ impl SolveCache {
         SolveCache::default()
     }
 
+    /// A poisoned lock only means another worker panicked mid-insert;
+    /// the set of no-gain digests is append-only and stays valid.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashSet<u64>> {
+        self.no_gain
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn known_no_gain(&self, digest: u64) -> bool {
-        self.no_gain.lock().expect("cache lock").contains(&digest)
+        self.lock().contains(&digest)
     }
 
     fn record_no_gain(&self, digest: u64) {
-        self.no_gain.lock().expect("cache lock").insert(digest);
+        self.lock().insert(digest);
     }
 
     /// Number of remembered no-gain states.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.no_gain.lock().expect("cache lock").len()
+        self.lock().len()
     }
 
     /// Whether the cache is empty.
@@ -77,6 +85,7 @@ pub struct DistOptParams {
 /// Statistics of one `DistOpt` call — a *view* over the telemetry
 /// counters recorded during the pass (see [`DistOptStats::from_report`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "dropping pass statistics usually means a result went unchecked"]
 pub struct DistOptStats {
     /// Windows whose solve produced at least one cell move or flip.
     pub windows: usize,
@@ -90,7 +99,6 @@ pub struct DistOptStats {
 
 impl DistOptStats {
     /// Builds the stats view from recorded telemetry counters.
-    #[must_use]
     pub fn from_report(r: &MetricsReport) -> DistOptStats {
         DistOptStats {
             windows: r.counter(Counter::WindowsImproved) as usize,
@@ -183,7 +191,12 @@ pub(crate) fn dist_opt_impl(
                 }));
             }
             for h in handles {
-                results.extend(h.join().expect("window solver thread panicked"));
+                match h.join() {
+                    Ok(r) => results.extend(r),
+                    // Surface a worker panic on the committing thread with
+                    // the original payload instead of a generic message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
 
@@ -345,7 +358,7 @@ mod tests {
         let (mut d, cfg) = setup(CellArch::OpenM1, 250, 2);
         let before = calculate_obj(&d, &cfg);
         let p = params(&d);
-        pass(&mut d, &p, &cfg);
+        let _ = pass(&mut d, &p, &cfg);
         let after = calculate_obj(&d, &cfg);
         d.validate_placement().unwrap();
         assert!(after.value <= before.value + 1e-6);
@@ -362,7 +375,7 @@ mod tests {
             flip: true,
             ..params(&d)
         };
-        pass(&mut d, &p, &cfg);
+        let _ = pass(&mut d, &p, &cfg);
         for ((_, inst), before) in d.insts().zip(positions) {
             assert_eq!((inst.site, inst.row), before, "flip-only must not move");
         }
@@ -400,7 +413,7 @@ mod tests {
         let cfg = cfg.with_alpha(0.0);
         let before = d.total_hpwl();
         let p = params(&d);
-        pass(&mut d, &p, &cfg);
+        let _ = pass(&mut d, &p, &cfg);
         assert!(d.total_hpwl() <= before);
     }
 }

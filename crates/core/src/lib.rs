@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 mod config;
 pub mod distopt;
 pub mod milp;
@@ -64,6 +65,7 @@ pub mod session;
 pub mod solver;
 pub mod window;
 
+pub use audit::{audit_design, audit_design_with, recount_alignments, DesignAuditReport};
 pub use config::{ParamSet, SolverKind, Vm1Config};
 #[allow(deprecated)]
 pub use distopt::{dist_opt, dist_opt_cached};

@@ -247,15 +247,13 @@ pub fn extract_assignment(vars: &MilpVars, values: &[f64]) -> Vec<usize> {
     vars.lambda
         .iter()
         .map(|lams| {
-            lams.iter()
-                .enumerate()
-                .max_by(|a, b| {
-                    values[a.1.index()]
-                        .partial_cmp(&values[b.1.index()])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(k, _)| k)
-                .expect("non-empty candidate list")
+            let mut best = 0usize;
+            for k in 1..lams.len() {
+                if values[lams[k].index()] > values[lams[best].index()] {
+                    best = k;
+                }
+            }
+            best
         })
         .collect()
 }
@@ -298,8 +296,12 @@ pub fn warm_start(
         if prob.exact {
             x[vars.d[pi].index()] = f64::from(within_y && ga.x == gb.x);
         } else {
-            let (a_var, b_var, o_var, v_var) =
-                vars.overlap[pi].expect("overlap vars exist for OpenM1");
+            // Overlap vars exist for every pair of an OpenM1 model; a pair
+            // without them just keeps its zeroed entries (the warm start is
+            // then rejected as infeasible rather than crashing).
+            let Some((a_var, b_var, o_var, v_var)) = vars.overlap[pi] else {
+                continue;
+            };
             let a = ga.x_lo.max(gb.x_lo);
             let b = ga.x_hi.min(gb.x_hi);
             let ov = b - a;

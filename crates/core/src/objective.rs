@@ -8,6 +8,7 @@ use vm1_netlist::Design;
 
 /// Decomposed objective value.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[must_use = "an objective evaluation is only useful if it is read"]
 pub struct Objective {
     /// Σ HPWL over all nets (nm).
     pub hpwl: Dbu,
@@ -22,7 +23,6 @@ pub struct Objective {
 }
 
 /// Evaluates objective (1)/(10) on the current placement.
-#[must_use]
 pub fn calculate_obj(design: &Design, cfg: &Vm1Config) -> Objective {
     let hpwl = design.total_hpwl();
     let weighted_hpwl: f64 = design

@@ -16,6 +16,7 @@
 //! [`Vm1Optimizer::with_metrics`]; [`OptStats`] is a view over those
 //! counters, so the session and the report can never disagree.
 
+use crate::audit::debug_checkpoint;
 use crate::distopt::{dist_opt_impl, DistOptParams, DistOptStats, SolveCache};
 use crate::objective::{calculate_obj, Objective};
 use crate::Vm1Config;
@@ -25,10 +26,12 @@ use vm1_netlist::Design;
 use vm1_obs::{
     Counter, MetricsHandle, MetricsReport, MetricsSink, Stage, Telemetry, TrajectoryPoint,
 };
+use vm1_place::{DisplacementBounds, PlacementSnapshot};
 
 /// Statistics of one optimizer run — a view over the run's telemetry
 /// counters plus the objective snapshots taken before and after.
 #[derive(Clone, Debug, Default)]
+#[must_use = "dropping optimizer statistics usually means a result went unchecked"]
 pub struct OptStats {
     /// Objective before optimization.
     pub initial_obj: f64,
@@ -55,7 +58,6 @@ pub struct OptStats {
 impl OptStats {
     /// Builds the stats view from a run's telemetry report and its
     /// boundary objective snapshots.
-    #[must_use]
     pub fn from_report(r: &MetricsReport, initial: &Objective, fin: &Objective) -> OptStats {
         OptStats {
             initial_obj: initial.value,
@@ -200,7 +202,10 @@ impl Vm1Optimizer {
             });
             while d_obj >= cfg.theta && inner < cfg.max_inner_iters {
                 let pre_obj = cur.value;
-                // Perturbation pass (f = 0).
+                // Perturbation pass (f = 0): each cell may move at most
+                // ±lx sites / ±ly rows, which the debug checkpoint below
+                // verifies against a pre-pass snapshot.
+                let snap = cfg!(debug_assertions).then(|| PlacementSnapshot::capture(design));
                 let perturb = DistOptParams {
                     tx,
                     ty,
@@ -213,7 +218,20 @@ impl Vm1Optimizer {
                 metrics.timed(Stage::Perturb, || {
                     dist_opt_impl(design, &perturb, cfg, cache, &metrics);
                 });
+                if let Some(snap) = &snap {
+                    debug_checkpoint(
+                        design,
+                        snap,
+                        Some(DisplacementBounds {
+                            dx_sites: u.lx,
+                            dy_rows: u.ly,
+                        }),
+                        &metrics,
+                        "after perturb pass",
+                    );
+                }
                 // Flip pass (f = 1, no displacement).
+                let snap = cfg!(debug_assertions).then(|| PlacementSnapshot::capture(design));
                 let flip = DistOptParams {
                     tx,
                     ty,
@@ -226,6 +244,18 @@ impl Vm1Optimizer {
                 metrics.timed(Stage::Flip, || {
                     dist_opt_impl(design, &flip, cfg, cache, &metrics);
                 });
+                if let Some(snap) = &snap {
+                    debug_checkpoint(
+                        design,
+                        snap,
+                        Some(DisplacementBounds {
+                            dx_sites: 0,
+                            dy_rows: 0,
+                        }),
+                        &metrics,
+                        "after flip pass",
+                    );
+                }
                 // Window shift: expose the previous boundary regions.
                 tx = (tx + bw_sites / 2).rem_euclid(bw_sites);
                 ty = (ty + (bh_rows / 2).max(1)).rem_euclid(bh_rows.max(1));
@@ -244,6 +274,14 @@ impl Vm1Optimizer {
                 });
             }
         }
+
+        // Final checkpoint: the objective's claimed Σ d_pq must match an
+        // independent recount on the final placement.
+        debug_assert_eq!(
+            crate::audit::recount_alignments(design, cfg),
+            cur.alignments,
+            "objective dM1 bookkeeping diverged from the placement"
+        );
 
         metrics.record_time(Stage::Vm1Opt, start.elapsed().as_nanos() as u64);
         let report = telemetry.report();

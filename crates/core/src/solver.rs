@@ -78,6 +78,17 @@ pub fn milp_window_solve_with(
     metrics: &MetricsHandle,
 ) -> Vec<usize> {
     let (model, vars) = metrics.timed(Stage::MilpBuild, || build_milp(prob));
+    // Pre-solve checkpoint: the emitted window model must lint clean of
+    // structural errors (infeasible bounds, malformed SOS1 groups).
+    #[cfg(debug_assertions)]
+    {
+        let lint = vm1_milp::audit::audit_with(&model, metrics);
+        assert!(
+            !lint.has_errors(),
+            "window MILP failed the model lint:\n{}",
+            lint.summary()
+        );
+    }
     let cur = prob.current_assign();
     let params = SolveParams {
         max_nodes: cfg.max_nodes,

@@ -5,13 +5,17 @@
 //! * the window-local objective delta equals the global objective delta
 //!   for any in-window move (the Figure 4(b) decomposition property that
 //!   justifies parallel diagonal windows);
-//! * the exact solvers dominate the greedy one.
+//! * the exact solvers dominate the greedy one;
+//! * the audit layer's independent dM1 recount always agrees with the
+//!   objective, and optimization preserves audit cleanliness.
 
 use proptest::prelude::*;
 use vm1_core::problem::{Overrides, WindowProblem};
 use vm1_core::solver::{dfs_solve, greedy_solve, solve_window};
 use vm1_core::window::Window;
-use vm1_core::{calculate_obj, SolverKind, Vm1Config};
+use vm1_core::{
+    audit_design, calculate_obj, recount_alignments, ParamSet, SolverKind, Vm1Config, Vm1Optimizer,
+};
 use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
 use vm1_netlist::Design;
 use vm1_place::{place, PlaceConfig, RowMap};
@@ -124,5 +128,39 @@ proptest! {
         let dfs = dfs_solve(&prob, 500_000);
         let greedy = greedy_solve(&prob, 4);
         prop_assert!(prob.eval(&dfs) <= prob.eval(&greedy) + 1e-9);
+    }
+
+    #[test]
+    fn dm1_recount_matches_objective(
+        arch_i in 0u8..2,
+        n in 80usize..250,
+        seed in 0u64..1000,
+    ) {
+        let arch = [CellArch::ClosedM1, CellArch::OpenM1][arch_i as usize];
+        let (d, cfg) = build(arch, n, seed);
+        prop_assert_eq!(
+            recount_alignments(&d, &cfg),
+            calculate_obj(&d, &cfg).alignments,
+            "independent recount must agree with the objective"
+        );
+    }
+
+    #[test]
+    fn optimization_preserves_audit_cleanliness(
+        arch_i in 0u8..2,
+        n in 80usize..160,
+        seed in 0u64..500,
+    ) {
+        let arch = [CellArch::ClosedM1, CellArch::OpenM1][arch_i as usize];
+        let (mut d, cfg) = build(arch, n, seed);
+        let pre = audit_design(&d, &cfg);
+        prop_assert!(pre.is_clean(), "pre-optimization: {}", pre.summary());
+
+        let cfg = cfg.with_sequence(vec![ParamSet::new(4.0, 3, 1)]);
+        let _ = Vm1Optimizer::new(cfg.clone()).run(&mut d);
+
+        let post = audit_design(&d, &cfg);
+        prop_assert!(post.is_clean(), "post-optimization: {}", post.summary());
+        prop_assert!(d.validate_placement().is_ok());
     }
 }

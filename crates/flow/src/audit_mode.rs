@@ -1,0 +1,65 @@
+//! Opt-in audit mode for the experiment flows.
+//!
+//! The experiment binaries accept `--audit` (parsed by `vm1-bench`); when
+//! enabled, every measurement and every optimizer run inside this crate
+//! passes the design through the [`vm1_core::audit_design`] placement
+//! verifier (overlap, site/row alignment, fixed-cell and dM1-recount
+//! checks). A violation aborts the experiment immediately instead of
+//! silently producing tables from a corrupt placement.
+//!
+//! The flag is a process-wide switch rather than a parameter threaded
+//! through every experiment function: the experiment drivers construct
+//! testcases internally, and audit mode deliberately observes *all* of
+//! them without changing any experiment signature.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use vm1_core::{audit_design, Vm1Config};
+use vm1_netlist::Design;
+
+static AUDIT_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables audit mode for all subsequent flow calls in this
+/// process.
+pub fn set_audit_mode(on: bool) {
+    AUDIT_MODE.store(on, Ordering::Relaxed);
+}
+
+/// Whether audit mode is currently enabled.
+#[must_use]
+pub fn audit_mode() -> bool {
+    AUDIT_MODE.load(Ordering::Relaxed)
+}
+
+/// Audits `design` if audit mode is on; aborts the process with a
+/// diagnostic on any violation.
+///
+/// # Panics
+///
+/// Panics when audit mode is enabled and the design fails the placement
+/// or dM1-recount invariants — that is the point of the mode.
+pub(crate) fn audit_checkpoint(design: &Design, cfg: &Vm1Config, stage: &str) {
+    if !audit_mode() {
+        return;
+    }
+    let report = audit_design(design, cfg);
+    assert!(
+        report.is_clean(),
+        "audit failed at `{stage}` on design `{}`: {}",
+        design.name(),
+        report.summary()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_mode_toggles() {
+        assert!(!audit_mode());
+        set_audit_mode(true);
+        assert!(audit_mode());
+        set_audit_mode(false);
+        assert!(!audit_mode());
+    }
+}

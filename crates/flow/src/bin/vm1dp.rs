@@ -4,22 +4,41 @@
 //! ```text
 //! vm1dp gen    --profile aes --arch closedm1 --scale 0.03 --seed 42 -o design.def
 //! vm1dp opt    -i design.def --arch closedm1 --alpha 1200 -o optimized.def \
-//!              --solver dfs --metrics-out metrics.json
+//!              --solver dfs --metrics-out metrics.json --audit
 //! vm1dp report -i optimized.def --arch closedm1
+//! vm1dp audit  -i optimized.def --arch closedm1
 //! ```
 //!
 //! `--metrics-out` exports the run's telemetry (solver counters, stage
 //! wall times, objective trajectory); the format follows the file
 //! extension (`.csv` → CSV, anything else → JSON).
+//!
+//! `audit` (or `--audit` on `gen`/`opt`, applied to the result) runs the
+//! static audit layer — placement invariants, the independent dM1
+//! recount, and the MILP model lint on sampled windows — and exits with
+//! a structured code:
+//!
+//! | code | meaning                                   |
+//! |------|-------------------------------------------|
+//! | 0    | audit clean                               |
+//! | 1    | I/O or runtime error                      |
+//! | 2    | usage error                               |
+//! | 3    | placement invariant violation             |
+//! | 4    | dM1 recount disagrees with the objective  |
+//! | 5    | MILP model lint error                     |
+//!
+//! When several classes fail, the smallest failing code wins.
 
 use std::process::exit;
 use std::sync::Arc;
+use vm1_core::problem::{Overrides, WindowProblem};
+use vm1_core::window::WindowGrid;
 use vm1_core::{SolverKind, Vm1Config, Vm1Optimizer};
 use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
 use vm1_netlist::io::{read_def, write_def};
 use vm1_netlist::Design;
-use vm1_obs::Telemetry;
-use vm1_place::{greedy_refine, place, PlaceConfig};
+use vm1_obs::{MetricsHandle, Telemetry};
+use vm1_place::{greedy_refine, place, PlaceConfig, RowMap};
 use vm1_route::{route, RouterConfig};
 use vm1_tech::{CellArch, Library};
 use vm1_timing::{analyze, min_clock_period, power};
@@ -34,6 +53,7 @@ fn main() {
         "gen" => cmd_gen(&opts),
         "opt" => cmd_opt(&opts),
         "report" => cmd_report(&opts),
+        "audit" => cmd_audit(&opts),
         "--help" | "-h" => usage(""),
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -49,6 +69,7 @@ struct Opts {
     input: Option<String>,
     output: Option<String>,
     metrics_out: Option<String>,
+    audit: bool,
 }
 
 impl Opts {
@@ -63,6 +84,7 @@ impl Opts {
             input: None,
             output: None,
             metrics_out: None,
+            audit: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -92,17 +114,17 @@ impl Opts {
                 "--scale" => {
                     o.scale = val("--scale")
                         .parse()
-                        .unwrap_or_else(|_| usage("bad --scale"))
+                        .unwrap_or_else(|_| usage("bad --scale"));
                 }
                 "--seed" => {
                     o.seed = val("--seed")
                         .parse()
-                        .unwrap_or_else(|_| usage("bad --seed"))
+                        .unwrap_or_else(|_| usage("bad --seed"));
                 }
                 "--alpha" => {
                     o.alpha = val("--alpha")
                         .parse()
-                        .unwrap_or_else(|_| usage("bad --alpha"))
+                        .unwrap_or_else(|_| usage("bad --alpha"));
                 }
                 "--solver" => {
                     o.solver = Some(match val("--solver").as_str() {
@@ -110,11 +132,12 @@ impl Opts {
                         "milp" => SolverKind::Milp,
                         "greedy" => SolverKind::Greedy,
                         other => usage(&format!("unknown solver {other}")),
-                    })
+                    });
                 }
                 "-i" | "--input" => o.input = Some(val("-i")),
                 "-o" | "--output" => o.output = Some(val("-o")),
                 "--metrics-out" => o.metrics_out = Some(val("--metrics-out")),
+                "--audit" => o.audit = true,
                 other => usage(&format!("unknown option {other}")),
             }
         }
@@ -127,9 +150,13 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: vm1dp <gen|opt|report> [--profile m0|aes|jpeg|vga] [--arch closedm1|openm1|conv12t]\n\
+        "usage: vm1dp <gen|opt|report|audit> [--profile m0|aes|jpeg|vga] [--arch closedm1|openm1|conv12t]\n\
          \x20            [--scale F] [--seed N] [--alpha F] [--solver dfs|milp|greedy]\n\
-         \x20            [-i FILE] [-o FILE] [--metrics-out FILE(.json|.csv)]"
+         \x20            [-i FILE] [-o FILE] [--metrics-out FILE(.json|.csv)] [--audit]\n\
+         \n\
+         audit exit codes (smallest failing class wins):\n\
+         \x20  0 clean   1 I/O error   2 usage   3 placement violation\n\
+         \x20  4 dM1 recount mismatch   5 MILP model lint error"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -165,13 +192,124 @@ fn save(design: &Design, opts: &Opts) {
     println!("wrote {path}");
 }
 
+fn audit_config(opts: &Opts) -> Vm1Config {
+    let mut cfg = match opts.arch {
+        CellArch::OpenM1 => Vm1Config::openm1(),
+        _ => Vm1Config::closedm1(),
+    };
+    if !opts.alpha.is_nan() {
+        cfg = cfg.with_alpha(opts.alpha);
+    }
+    cfg
+}
+
+/// Runs the full static audit on `design` and returns the process exit
+/// code: 0 clean, 3 placement invariant violation, 4 dM1 recount
+/// mismatch, 5 MILP model lint error (smallest failing class wins).
+/// Findings are printed and recorded through `metrics`.
+fn run_audit(design: &Design, opts: &Opts, metrics: &MetricsHandle) -> i32 {
+    let cfg = audit_config(opts);
+    let report = vm1_core::audit_design_with(design, &cfg, metrics);
+    println!(
+        "audit placement : {} checks, {} violations",
+        report.placement.checks(),
+        report.placement.violations().len()
+    );
+    println!(
+        "audit dM1       : recount {} vs objective {} ({})",
+        report.recounted_dm1,
+        report.reported_dm1,
+        if report.dm1_consistent() {
+            "consistent"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if !report.is_clean() {
+        print!("{}", report.summary());
+    }
+
+    // Model lint over a sample of window MILPs: the first parameter
+    // set's window geometry on the unshifted grid, up to 8 windows with
+    // at least two movable cells each.
+    let mut lint_errors = 0usize;
+    let mut lint_warnings = 0usize;
+    let mut sampled = 0usize;
+    if let Some(u) = cfg.sequence.first() {
+        let tech = design.library().tech();
+        let site = tech.site_width.nm() as f64;
+        let row = tech.row_height.nm() as f64;
+        let bw_sites = ((u.bw_um * 1000.0 / site).round() as i64).max(4);
+        let bh_rows = ((u.bh_um * 1000.0 / row).round() as i64).max(1);
+        let rowmap = RowMap::build(design);
+        let overrides = Overrides::new();
+        let grid = WindowGrid::partition(design, 0, 0, bw_sites, bh_rows);
+        for win in &grid.windows {
+            if sampled >= 8 {
+                break;
+            }
+            let mut movable = WindowProblem::movable_in_window(design, &rowmap, win, &overrides);
+            if movable.len() < 2 {
+                continue;
+            }
+            // Mirror the solver's batching: lint the model of the first
+            // batch, with the rest contributing fixed occupancy.
+            movable.truncate(cfg.max_cells_per_milp);
+            let prob = WindowProblem::build(
+                design, &rowmap, *win, &movable, u.lx, u.ly, false, &cfg, &overrides,
+            );
+            let (model, _) = vm1_core::milp::build_milp(&prob);
+            let lint = vm1_milp::audit::audit_with(&model, metrics);
+            lint_errors += lint.count(vm1_milp::AuditSeverity::Error);
+            lint_warnings += lint.count(vm1_milp::AuditSeverity::Warning);
+            for f in lint
+                .findings()
+                .iter()
+                .filter(|f| f.kind.severity() == vm1_milp::AuditSeverity::Error)
+            {
+                println!("{f}");
+            }
+            sampled += 1;
+        }
+    }
+    println!(
+        "audit model lint: {sampled} window models sampled, {lint_errors} errors, {lint_warnings} warnings"
+    );
+
+    if !report.placement.is_clean() {
+        3
+    } else if !report.dm1_consistent() {
+        4
+    } else if lint_errors > 0 {
+        5
+    } else {
+        println!("audit clean");
+        0
+    }
+}
+
+fn write_metrics_out(report: &vm1_obs::MetricsReport, opts: &Opts) {
+    if let Some(path) = &opts.metrics_out {
+        let payload = if path.ends_with(".csv") {
+            report.to_csv()
+        } else {
+            report.to_json()
+        };
+        std::fs::write(path, payload).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("wrote {path}");
+    }
+}
+
 fn cmd_gen(opts: &Opts) {
     let lib = library(opts.arch);
     let mut design = GeneratorConfig::profile(opts.profile)
         .with_scale(opts.scale)
         .generate(&lib, opts.seed);
     place(&mut design, &PlaceConfig::default(), opts.seed);
-    greedy_refine(&mut design, 3, 2);
+    let _refine = greedy_refine(&mut design, 3, 2);
     design.validate_placement().expect("legal placement");
     println!(
         "generated {}: {} instances, {} nets, {} rows x {} sites",
@@ -182,6 +320,21 @@ fn cmd_gen(opts: &Opts) {
         design.sites_per_row
     );
     save(&design, opts);
+    if opts.audit {
+        let code = run_audit(&design, opts, &MetricsHandle::disabled());
+        if code != 0 {
+            exit(code);
+        }
+    }
+}
+
+fn cmd_audit(opts: &Opts) {
+    let design = load(opts);
+    let sink = Arc::new(Telemetry::new());
+    let metrics = MetricsHandle::of(sink.clone());
+    let code = run_audit(&design, opts, &metrics);
+    write_metrics_out(&sink.report(), opts);
+    exit(code);
 }
 
 fn cmd_opt(opts: &Opts) {
@@ -211,21 +364,18 @@ fn cmd_opt(opts: &Opts) {
         stats.cells_changed,
         stats.runtime_ms
     );
+    let audit_code = if opts.audit {
+        run_audit(&design, opts, &MetricsHandle::of(sink.clone()))
+    } else {
+        0
+    };
     let report = sink.report();
     print!("{}", vm1_flow::format_metrics_summary(&report));
-    if let Some(path) = &opts.metrics_out {
-        let payload = if path.ends_with(".csv") {
-            report.to_csv()
-        } else {
-            report.to_json()
-        };
-        std::fs::write(path, payload).unwrap_or_else(|e| {
-            eprintln!("error: cannot write {path}: {e}");
-            exit(1);
-        });
-        println!("wrote {path}");
-    }
+    write_metrics_out(&report, opts);
     save(&design, opts);
+    if audit_code != 0 {
+        exit(audit_code);
+    }
 }
 
 fn cmd_report(opts: &Opts) {
@@ -246,7 +396,7 @@ fn cmd_report(opts: &Opts) {
     println!("#dM1      : {}", r.metrics.num_dm1);
     println!("#via12    : {}", r.metrics.via12());
     println!("#DRV      : {}", r.metrics.drvs);
-    println!("clock     : {:.1} ps (calibrated)", clock);
+    println!("clock     : {clock:.1} ps (calibrated)");
     println!("WNS       : {:.3} ns", t.wns_ns_paper());
     println!("power     : {:.3} mW", p.total_mw());
 }

@@ -82,8 +82,9 @@ pub struct Testcase {
 ///
 /// # Panics
 ///
-/// Panics if the synthetic netlist contains a combinational loop (cannot
-/// happen for the levelized generator).
+/// Panics if the synthetic netlist contains a combinational loop or the
+/// placer produced an illegal placement (neither can happen for the
+/// levelized generator plus legalizing placer).
 #[must_use]
 pub fn build_testcase(cfg: &FlowConfig) -> Testcase {
     let library = Library::synthetic_7nm(cfg.arch);
@@ -92,11 +93,11 @@ pub fn build_testcase(cfg: &FlowConfig) -> Testcase {
         .with_utilization(cfg.utilization)
         .generate(&library, cfg.seed);
     place(&mut design, &PlaceConfig::default(), cfg.seed);
-    greedy_refine(&mut design, 3, 2);
-    design.validate_placement().expect("placement is legal");
+    let _refine = greedy_refine(&mut design, 3, 2);
+    design.validate_placement().expect("placement is legal"); // lint: allow(documented `# Panics` contract)
 
     let initial_route = route(&design, &cfg.router);
-    let clock_ps = min_clock_period(&design, Some(&initial_route)).expect("acyclic netlist") * 1.02;
+    let clock_ps = min_clock_period(&design, Some(&initial_route)).expect("acyclic netlist") * 1.02; // lint: allow(documented `# Panics` contract)
     Testcase {
         design,
         clock_ps,
@@ -105,6 +106,10 @@ pub fn build_testcase(cfg: &FlowConfig) -> Testcase {
 }
 
 /// Routes the design and takes a full measurement snapshot.
+///
+/// # Panics
+///
+/// Panics on a cyclic netlist (cannot happen for generated designs).
 #[must_use]
 pub fn measure(tc: &Testcase, vm1_cfg: &Vm1Config) -> (Snapshot, RouteResult) {
     measure_with(tc, vm1_cfg, &MetricsHandle::disabled())
@@ -112,15 +117,24 @@ pub fn measure(tc: &Testcase, vm1_cfg: &Vm1Config) -> (Snapshot, RouteResult) {
 
 /// [`measure`] with a metrics sink: the routing pass is charged to
 /// [`Stage::Route`] and the STA/power analysis to [`Stage::Analysis`].
+///
+/// # Panics
+///
+/// Panics on a cyclic netlist (cannot happen for generated designs), or
+/// when [`crate::audit_mode`] is enabled and the design being measured
+/// fails the placement/dM1 audit.
 #[must_use]
 pub fn measure_with(
     tc: &Testcase,
     vm1_cfg: &Vm1Config,
     metrics: &MetricsHandle,
 ) -> (Snapshot, RouteResult) {
+    // Every experiment path measures through here, so this one checkpoint
+    // covers all experiment binaries when `--audit` is on.
+    crate::audit_mode::audit_checkpoint(&tc.design, vm1_cfg, "measure");
     let r = metrics.timed(Stage::Route, || route(&tc.design, &tc.router));
     let (timing, p) = metrics.timed(Stage::Analysis, || {
-        let timing = analyze(&tc.design, Some(&r), tc.clock_ps).expect("acyclic netlist");
+        let timing = analyze(&tc.design, Some(&r), tc.clock_ps).expect("acyclic netlist"); // lint: allow(documented `# Panics` contract)
         let p = power(&tc.design, Some(&r), tc.clock_ps);
         (timing, p)
     });
@@ -145,6 +159,11 @@ pub fn measure_with(
 /// The whole flow is instrumented: the returned row carries the full
 /// telemetry report (optimizer counters, stage times including
 /// [`Stage::Route`]/[`Stage::Analysis`], and the objective trajectory).
+///
+/// # Panics
+///
+/// Panics if the optimizer leaves an illegal placement behind (the
+/// `--audit` invariants catch this earlier in debug builds).
 #[must_use]
 pub fn optimize_and_measure(tc: &mut Testcase, vm1_cfg: &Vm1Config) -> ExperimentRow {
     let telemetry = Arc::new(Telemetry::new());
@@ -155,7 +174,8 @@ pub fn optimize_and_measure(tc: &mut Testcase, vm1_cfg: &Vm1Config) -> Experimen
         .run(&mut tc.design);
     tc.design
         .validate_placement()
-        .expect("optimizer preserves legality");
+        .expect("optimizer preserves legality"); // lint: allow(documented `# Panics` contract)
+    crate::audit_mode::audit_checkpoint(&tc.design, vm1_cfg, "post-optimize");
     let (fin, _) = measure_with(tc, vm1_cfg, &metrics);
     ExperimentRow {
         design: tc.design.name().to_owned(),

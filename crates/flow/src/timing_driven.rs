@@ -23,7 +23,7 @@ use vm1_timing::net_slacks;
 #[must_use]
 pub fn net_criticality_weights(tc: &Testcase, boost: f64) -> Vec<f64> {
     let r = route(&tc.design, &tc.router);
-    let slacks = net_slacks(&tc.design, Some(&r), tc.clock_ps).expect("acyclic netlist");
+    let slacks = net_slacks(&tc.design, Some(&r), tc.clock_ps).expect("acyclic netlist"); // lint: allow(documented `# Panics` contract)
     slacks
         .iter()
         .map(|&s| {

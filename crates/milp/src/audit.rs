@@ -1,0 +1,775 @@
+//! Pre-solve static model linter.
+//!
+//! [`audit`] inspects a [`Model`] *before* it is handed to the solver and
+//! reports structural defects that would otherwise surface only as wrong
+//! answers or wasted branch-and-bound effort:
+//!
+//! * **trivial infeasibility** — interval (activity-bound) propagation
+//!   over the constraint matrix, iterated to a fixpoint, proves that no
+//!   assignment within the variable bounds can satisfy every row;
+//! * **loose big-M coefficients** — a binary term of an indicator row
+//!   whose magnitude exceeds what the derived variable bounds require.
+//!   Each finding carries an exact feasibility-preserving [`BigMFix`]
+//!   that [`apply_big_m_fixes`] can apply;
+//! * **malformed SOS1 groups** — empty groups, duplicate members, and
+//!   groups without the `sum == 1` convexity row that
+//!   [`Model::add_sos1`] documents as the caller's obligation;
+//! * **unused variables** — no constraint term and no objective term;
+//! * **redundant constraints** — rows satisfied by every assignment
+//!   within the derived bounds;
+//! * **poor conditioning** — a coefficient-magnitude spread wide enough
+//!   to endanger the simplex tolerances.
+//!
+//! Findings flow through the `vm1-obs` metrics layer
+//! ([`audit_with`]) so they land in `--metrics-out` reports.
+//!
+//! # The big-M tightening rule
+//!
+//! The workspace emits indicator rows of the form `expr + G·d ≤ bound + G`
+//! (and the `≥` mirror): at `d = 1` the row binds, at `d = 0` it must be
+//! vacuous, which only requires `G ≥ max(expr) − bound`. For a general
+//! `≤` row `rest + a·d ≤ b` with binary `d` and `a > 0`, the relaxed
+//! branch is `d = 0` and its slack is `s = b − max(rest)`. When `s > 0`
+//! the coefficient is loose: with `δ = min(s, a)`, replacing `a → a − δ`
+//! and `b → b − δ` leaves the binding branch (`rest ≤ b − a`) unchanged
+//! and keeps the relaxed branch vacuous (`b − δ ≥ max(rest)`), so the
+//! feasible set over `d ∈ {0, 1}` is exactly preserved while the LP
+//! relaxation tightens. Terms with `a < 0` and `≥` rows are handled by
+//! negation; `==` rows are never touched.
+//!
+//! # Examples
+//!
+//! ```
+//! use vm1_milp::{audit, Model};
+//!
+//! let mut m = Model::new();
+//! let x = m.add_continuous("x", 0.0, 10.0);
+//! let d = m.add_binary("d");
+//! // x ≤ 2 when d = 0, vacuous when d = 1 — but G = 1e6 is far looser
+//! // than the G = 8 the bounds require.
+//! m.add_le([(x, 1.0), (d, 1e6)], 2.0 + 1e6);
+//! let report = audit::audit(&m);
+//! assert!(report.has_warnings());
+//! assert_eq!(report.big_m_fixes().count(), 1);
+//! ```
+
+use std::fmt;
+
+use vm1_obs::{Counter, MetricsHandle, Stage};
+
+use crate::model::{ConstraintSense, Model, VarId, VarKind};
+use crate::presolve::presolve;
+
+/// Below this absolute slack a big-M coefficient counts as tight
+/// (coordinates are integer nanometres, so real looseness is ≥ 1).
+const BIGM_SLACK_TOL: f64 = 1e-6;
+
+/// Coefficient-magnitude spread (max/min over nonzero entries) beyond
+/// which the matrix is flagged as poorly conditioned for the dense
+/// simplex and its fixed tolerances.
+const CONDITIONING_LIMIT: f64 = 1e10;
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+/// Severity of an [`AuditFinding`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AuditSeverity {
+    /// Informational: harmless, but worth knowing (dead variables,
+    /// redundant rows).
+    Info,
+    /// Suspicious: the model solves, but suboptimally conditioned or
+    /// formulated (loose big-M, wide coefficient range).
+    Warning,
+    /// Defective: the model cannot produce a meaningful answer
+    /// (infeasible bounds, malformed SOS1 structure).
+    Error,
+}
+
+/// What kind of defect an [`AuditFinding`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AuditKind {
+    /// Interval propagation proved no feasible assignment exists.
+    TriviallyInfeasible,
+    /// A big-M indicator coefficient is looser than the derived bounds
+    /// require (a feasibility-preserving fix is attached).
+    LooseBigM,
+    /// An SOS1 group has no members.
+    Sos1Empty,
+    /// An SOS1 group lists the same variable more than once.
+    Sos1DuplicateMember,
+    /// An SOS1 group has no matching `sum == 1` convexity constraint.
+    Sos1MissingConvexityRow,
+    /// A variable appears in no constraint and has no objective weight.
+    UnusedVariable,
+    /// A constraint is satisfied by every assignment within the derived
+    /// bounds.
+    RedundantConstraint,
+    /// The nonzero coefficient magnitudes span a range wide enough to
+    /// endanger the simplex tolerances.
+    PoorConditioning,
+}
+
+impl AuditKind {
+    /// The severity class of this kind of finding.
+    #[must_use]
+    pub fn severity(self) -> AuditSeverity {
+        match self {
+            AuditKind::TriviallyInfeasible
+            | AuditKind::Sos1Empty
+            | AuditKind::Sos1DuplicateMember
+            | AuditKind::Sos1MissingConvexityRow => AuditSeverity::Error,
+            AuditKind::LooseBigM | AuditKind::PoorConditioning => AuditSeverity::Warning,
+            AuditKind::UnusedVariable | AuditKind::RedundantConstraint => AuditSeverity::Info,
+        }
+    }
+
+    /// Stable snake_case name (JSON/CSV-friendly).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditKind::TriviallyInfeasible => "trivially_infeasible",
+            AuditKind::LooseBigM => "loose_big_m",
+            AuditKind::Sos1Empty => "sos1_empty",
+            AuditKind::Sos1DuplicateMember => "sos1_duplicate_member",
+            AuditKind::Sos1MissingConvexityRow => "sos1_missing_convexity_row",
+            AuditKind::UnusedVariable => "unused_variable",
+            AuditKind::RedundantConstraint => "redundant_constraint",
+            AuditKind::PoorConditioning => "poor_conditioning",
+        }
+    }
+}
+
+/// An exact, feasibility-preserving tightening of one loose big-M term
+/// (see the module docs for the rule and its proof sketch).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BigMFix {
+    /// Index of the constraint to rewrite.
+    pub constraint: usize,
+    /// Index of the term (within that constraint's expression) whose
+    /// coefficient changes.
+    pub term: usize,
+    /// Replacement coefficient for the term.
+    pub new_coeff: f64,
+    /// Replacement right-hand side for the constraint.
+    pub new_rhs: f64,
+}
+
+/// One defect reported by the model linter.
+#[derive(Clone, Debug)]
+pub struct AuditFinding {
+    /// The defect class.
+    pub kind: AuditKind,
+    /// Offending constraint index, when the finding is about a row.
+    pub constraint: Option<usize>,
+    /// Offending variable, when the finding is about a variable.
+    pub var: Option<VarId>,
+    /// Human-readable explanation with concrete numbers.
+    pub detail: String,
+    /// Attached automatic fix ([`AuditKind::LooseBigM`] only).
+    pub fix: Option<BigMFix>,
+}
+
+impl AuditFinding {
+    /// The severity class of this finding.
+    #[must_use]
+    pub fn severity(&self) -> AuditSeverity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:?}] {}: {}",
+            self.severity(),
+            self.kind.name(),
+            self.detail
+        )
+    }
+}
+
+/// Result of a model lint: every finding, most severe first.
+#[derive(Clone, Debug, Default)]
+#[must_use = "an audit report is only useful if its findings are inspected"]
+pub struct AuditReport {
+    findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// All findings, sorted most severe first.
+    #[must_use]
+    pub fn findings(&self) -> &[AuditFinding] {
+        &self.findings
+    }
+
+    /// Number of findings at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: AuditSeverity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == severity)
+            .count()
+    }
+
+    /// Whether any error-severity finding was reported.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.count(AuditSeverity::Error) > 0
+    }
+
+    /// Whether any warning-severity finding was reported.
+    #[must_use]
+    pub fn has_warnings(&self) -> bool {
+        self.count(AuditSeverity::Warning) > 0
+    }
+
+    /// Whether the model is clean enough to solve: no errors and no
+    /// warnings (info findings are tolerated).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors() && !self.has_warnings()
+    }
+
+    /// The attached big-M fixes, in application order.
+    pub fn big_m_fixes(&self) -> impl Iterator<Item = BigMFix> + '_ {
+        self.findings.iter().filter_map(|f| f.fix)
+    }
+
+    /// One line per finding, most severe first (empty string when clean).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The linter
+// ---------------------------------------------------------------------------
+
+/// Lints `model` and returns every finding. Equivalent to
+/// [`audit_with`] with a disabled metrics handle.
+pub fn audit(model: &Model) -> AuditReport {
+    audit_with(model, &MetricsHandle::disabled())
+}
+
+/// Lints `model`, charging wall-clock to [`Stage::Audit`] and reporting
+/// finding counts through `metrics` ([`Counter::AuditErrors`],
+/// [`Counter::AuditWarnings`], [`Counter::AuditBigMTightened`]).
+pub fn audit_with(model: &Model, metrics: &MetricsHandle) -> AuditReport {
+    let report = metrics.timed(Stage::Audit, || lint(model));
+    metrics.add(
+        Counter::AuditErrors,
+        report.count(AuditSeverity::Error) as u64,
+    );
+    metrics.add(
+        Counter::AuditWarnings,
+        report.count(AuditSeverity::Warning) as u64,
+    );
+    metrics.add(
+        Counter::AuditBigMTightened,
+        report.big_m_fixes().count() as u64,
+    );
+    report
+}
+
+/// Applies every big-M fix attached to `report` to `model` and returns
+/// the number of coefficients tightened. At most one fix per constraint
+/// is applied (each fix also rewrites its row's right-hand side).
+pub fn apply_big_m_fixes(model: &mut Model, report: &AuditReport) -> usize {
+    let mut touched = vec![false; model.constraints.len()];
+    let mut applied = 0;
+    for fix in report.big_m_fixes() {
+        if fix.constraint >= model.constraints.len() || touched[fix.constraint] {
+            continue;
+        }
+        let con = &mut model.constraints[fix.constraint];
+        if fix.term >= con.expr.terms.len() {
+            continue;
+        }
+        con.expr.terms[fix.term].1 = fix.new_coeff;
+        con.rhs = fix.new_rhs;
+        touched[fix.constraint] = true;
+        applied += 1;
+    }
+    applied
+}
+
+fn lint(model: &Model) -> AuditReport {
+    let mut findings = Vec::new();
+
+    // Interval propagation: derived bounds, proven-redundant rows, and
+    // trivial infeasibility all come from the same fixpoint.
+    let pre = presolve(model);
+    if pre.infeasible {
+        findings.push(AuditFinding {
+            kind: AuditKind::TriviallyInfeasible,
+            constraint: None,
+            var: None,
+            detail: "interval propagation over the variable bounds proved the \
+                     constraint system unsatisfiable"
+                .to_owned(),
+            fix: None,
+        });
+    } else {
+        for (ci, red) in pre.redundant.iter().enumerate() {
+            if *red {
+                findings.push(AuditFinding {
+                    kind: AuditKind::RedundantConstraint,
+                    constraint: Some(ci),
+                    var: None,
+                    detail: format!(
+                        "constraint #{ci} is satisfied by every assignment within \
+                         the derived variable bounds"
+                    ),
+                    fix: None,
+                });
+            }
+        }
+        check_big_m(model, &pre.lb, &pre.ub, &pre.redundant, &mut findings);
+    }
+
+    check_sos1(model, &mut findings);
+    check_unused(model, &mut findings);
+    check_conditioning(model, &mut findings);
+
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity()));
+    AuditReport { findings }
+}
+
+/// Flags loose big-M coefficients on binary terms of inequality rows,
+/// measured against the derived bounds `lb`/`ub`. At most one finding
+/// (the loosest term) per constraint.
+fn check_big_m(
+    model: &Model,
+    lb: &[f64],
+    ub: &[f64],
+    redundant: &[bool],
+    findings: &mut Vec<AuditFinding>,
+) {
+    for (ci, con) in model.constraints.iter().enumerate() {
+        if redundant[ci] {
+            continue; // already reported; tightening a dead row is noise
+        }
+        // Normalize to ≤ form: sign · (expr, rhs).
+        let sign = match con.sense {
+            ConstraintSense::Le => 1.0,
+            ConstraintSense::Ge => -1.0,
+            ConstraintSense::Eq => continue,
+        };
+        let rhs = sign * con.rhs;
+        // Max activity of the full row in ≤ form.
+        let mut max_act = 0.0f64;
+        for &(v, c) in &con.expr.terms {
+            let c = sign * c;
+            let j = v.index();
+            max_act += if c >= 0.0 { c * ub[j] } else { c * lb[j] };
+        }
+        if !max_act.is_finite() {
+            continue;
+        }
+
+        // Loosest binary term of the row.
+        let mut best: Option<(usize, VarId, f64, f64)> = None; // (term, var, delta, coeff)
+        for (ti, &(v, c0)) in con.expr.terms.iter().enumerate() {
+            let j = v.index();
+            if model.vars[j].kind != VarKind::Binary || lb[j] > 0.5 || ub[j] < 0.5 {
+                continue; // not binary, or already fixed by propagation
+            }
+            let a = sign * c0;
+            if a.abs() <= BIGM_SLACK_TOL {
+                continue;
+            }
+            // Relaxed-branch slack: the branch where a·d contributes
+            // min(a, 0). max_act already includes max(a, 0) from this
+            // term, so max(rest) + min(a, 0) = max_act − |a|.
+            let slack = rhs - (max_act - a.abs());
+            if slack <= BIGM_SLACK_TOL {
+                continue;
+            }
+            let delta = slack.min(a.abs());
+            if best.is_none_or(|(_, _, d, _)| delta > d) {
+                best = Some((ti, v, delta, a));
+            }
+        }
+        if let Some((ti, v, delta, a)) = best {
+            // Shrink |a| by delta; in ≤ form the rhs moves with the
+            // coefficient only when a > 0 (the term's maximum shrinks).
+            let (new_a, new_rhs_norm) = if a > 0.0 {
+                (a - delta, rhs - delta)
+            } else {
+                (a + delta, rhs)
+            };
+            findings.push(AuditFinding {
+                kind: AuditKind::LooseBigM,
+                constraint: Some(ci),
+                var: Some(v),
+                detail: format!(
+                    "constraint #{ci}: big-M coefficient {:.6} on binary '{}' \
+                     exceeds what the derived bounds require by {delta:.6}",
+                    con.expr.terms[ti].1,
+                    model.var_name(v),
+                ),
+                fix: Some(BigMFix {
+                    constraint: ci,
+                    term: ti,
+                    new_coeff: sign * new_a,
+                    new_rhs: sign * new_rhs_norm,
+                }),
+            });
+        }
+    }
+}
+
+/// Validates SOS1 group structure: non-empty, duplicate-free, and backed
+/// by a `sum == 1` convexity row over exactly the group's members.
+fn check_sos1(model: &Model, findings: &mut Vec<AuditFinding>) {
+    for (gi, group) in model.sos1.iter().enumerate() {
+        if group.is_empty() {
+            findings.push(AuditFinding {
+                kind: AuditKind::Sos1Empty,
+                constraint: None,
+                var: None,
+                detail: format!("SOS1 group #{gi} has no members"),
+                fix: None,
+            });
+            continue;
+        }
+        let mut members: Vec<usize> = group.iter().map(|v| v.index()).collect();
+        members.sort_unstable();
+        let had_dup = members.windows(2).any(|w| w[0] == w[1]);
+        if had_dup {
+            findings.push(AuditFinding {
+                kind: AuditKind::Sos1DuplicateMember,
+                constraint: None,
+                var: None,
+                detail: format!("SOS1 group #{gi} lists a member more than once"),
+                fix: None,
+            });
+        }
+        members.dedup();
+
+        let convexity = model.constraints.iter().any(|con| {
+            if con.sense != ConstraintSense::Eq || (con.rhs - 1.0).abs() > 1e-9 {
+                return false;
+            }
+            // Sum repeated terms, then require coefficient 1 on exactly
+            // the group members and nothing else.
+            let mut sums: Vec<(usize, f64)> = Vec::with_capacity(con.expr.terms.len());
+            for &(v, c) in &con.expr.terms {
+                match sums.iter_mut().find(|(j, _)| *j == v.index()) {
+                    Some((_, acc)) => *acc += c,
+                    None => sums.push((v.index(), c)),
+                }
+            }
+            sums.retain(|&(_, c)| c.abs() > 1e-12);
+            if sums.len() != members.len() {
+                return false;
+            }
+            sums.sort_unstable_by_key(|&(j, _)| j);
+            sums.iter()
+                .zip(&members)
+                .all(|(&(j, c), &m)| j == m && (c - 1.0).abs() <= 1e-9)
+        });
+        if !convexity {
+            findings.push(AuditFinding {
+                kind: AuditKind::Sos1MissingConvexityRow,
+                constraint: None,
+                var: None,
+                detail: format!(
+                    "SOS1 group #{gi} ({} members) has no matching 'sum == 1' \
+                     convexity constraint; branching on it would be unsound",
+                    group.len()
+                ),
+                fix: None,
+            });
+        }
+    }
+}
+
+/// Flags variables with no constraint term and no objective weight.
+fn check_unused(model: &Model, findings: &mut Vec<AuditFinding>) {
+    let mut used = vec![false; model.num_vars()];
+    for con in &model.constraints {
+        for &(v, c) in &con.expr.terms {
+            if c != 0.0 {
+                used[v.index()] = true;
+            }
+        }
+    }
+    for (j, w) in model.objective.iter().enumerate() {
+        if *w != 0.0 {
+            used[j] = true;
+        }
+    }
+    for (j, u) in used.iter().enumerate() {
+        if !u {
+            findings.push(AuditFinding {
+                kind: AuditKind::UnusedVariable,
+                constraint: None,
+                var: Some(VarId(j)),
+                detail: format!(
+                    "variable '{}' appears in no constraint and has no \
+                     objective weight",
+                    model.vars[j].name
+                ),
+                fix: None,
+            });
+        }
+    }
+}
+
+/// Flags a coefficient-magnitude spread beyond [`CONDITIONING_LIMIT`].
+fn check_conditioning(model: &Model, findings: &mut Vec<AuditFinding>) {
+    let mut min_mag = f64::INFINITY;
+    let mut max_mag = 0.0f64;
+    for con in &model.constraints {
+        for &(_, c) in &con.expr.terms {
+            let m = c.abs();
+            if m > 0.0 {
+                min_mag = min_mag.min(m);
+                max_mag = max_mag.max(m);
+            }
+        }
+    }
+    if max_mag > 0.0 && max_mag / min_mag > CONDITIONING_LIMIT {
+        findings.push(AuditFinding {
+            kind: AuditKind::PoorConditioning,
+            constraint: None,
+            var: None,
+            detail: format!(
+                "constraint coefficient magnitudes span [{min_mag:.3e}, \
+                 {max_mag:.3e}] (ratio {:.3e} > {CONDITIONING_LIMIT:.0e}); \
+                 the dense simplex tolerances may break down",
+                max_mag / min_mag
+            ),
+            fix: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vm1_obs::Telemetry;
+
+    fn kinds(r: &AuditReport) -> Vec<AuditKind> {
+        r.findings().iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn clean_model_audits_clean() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 5.0);
+        let b = m.add_binary("b");
+        m.add_le([(x, 1.0), (b, 2.0)], 4.0);
+        m.set_objective([(x, 1.0)]);
+        let r = audit(&m);
+        assert!(r.is_clean(), "{}", r.summary());
+    }
+
+    #[test]
+    fn detects_trivial_infeasibility() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_ge([(a, 1.0), (b, 1.0)], 3.0);
+        let r = audit(&m);
+        assert!(r.has_errors());
+        assert!(kinds(&r).contains(&AuditKind::TriviallyInfeasible));
+    }
+
+    #[test]
+    fn detects_and_fixes_loose_big_m_le() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let d = m.add_binary("d");
+        // Indicator form expr + G·d ≤ bound + G with G = 1e6; the bounds
+        // only require G = max(x) − bound = 8.
+        m.add_le([(x, 1.0), (d, 1e6)], 2.0 + 1e6);
+        m.set_objective([(x, -1.0)]);
+        let r = audit(&m);
+        assert!(kinds(&r).contains(&AuditKind::LooseBigM), "{}", r.summary());
+
+        let fix = r.big_m_fixes().next().unwrap();
+        assert!(
+            (fix.new_coeff - 8.0).abs() < 1e-6,
+            "coeff {}",
+            fix.new_coeff
+        );
+        assert!((fix.new_rhs - 10.0).abs() < 1e-6, "rhs {}", fix.new_rhs);
+
+        let mut fixed = m.clone();
+        assert_eq!(apply_big_m_fixes(&mut fixed, &r), 1);
+        // The feasible set over d ∈ {0, 1} is preserved exactly.
+        for d_val in [0.0, 1.0] {
+            for x10 in 0..=100 {
+                let x_val = f64::from(x10) / 10.0;
+                assert_eq!(
+                    m.is_feasible(&[x_val, d_val], 1e-9),
+                    fixed.is_feasible(&[x_val, d_val], 1e-9),
+                    "x={x_val} d={d_val}"
+                );
+            }
+        }
+        // And the fixed model is tight: re-auditing finds nothing loose.
+        let r2 = audit(&fixed);
+        assert!(
+            !kinds(&r2).contains(&AuditKind::LooseBigM),
+            "{}",
+            r2.summary()
+        );
+    }
+
+    #[test]
+    fn detects_and_fixes_loose_big_m_ge() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", -10.0, 10.0);
+        let d = m.add_binary("d");
+        // Mirror row: x − G·d ≥ −bound − G (binds to x ≥ −2 at d = 1).
+        m.add_ge([(x, 1.0), (d, -1e6)], -2.0 - 1e6);
+        m.set_objective([(x, 1.0)]);
+        let r = audit(&m);
+        assert!(kinds(&r).contains(&AuditKind::LooseBigM), "{}", r.summary());
+        let mut fixed = m.clone();
+        assert_eq!(apply_big_m_fixes(&mut fixed, &r), 1);
+        for d_val in [0.0, 1.0] {
+            for x10 in -100..=100 {
+                let x_val = f64::from(x10) / 10.0;
+                assert_eq!(
+                    m.is_feasible(&[x_val, d_val], 1e-9),
+                    fixed.is_feasible(&[x_val, d_val], 1e-9),
+                    "x={x_val} d={d_val}"
+                );
+            }
+        }
+        let r2 = audit(&fixed);
+        assert!(
+            !kinds(&r2).contains(&AuditKind::LooseBigM),
+            "{}",
+            r2.summary()
+        );
+    }
+
+    #[test]
+    fn tight_big_m_not_flagged() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let d = m.add_binary("d");
+        // G = 8 exactly: relaxed branch has zero slack.
+        m.add_le([(x, 1.0), (d, 8.0)], 10.0);
+        m.set_objective([(x, -1.0)]);
+        let r = audit(&m);
+        assert!(
+            !kinds(&r).contains(&AuditKind::LooseBigM),
+            "{}",
+            r.summary()
+        );
+    }
+
+    #[test]
+    fn detects_sos1_without_convexity_row() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_sos1(vec![a, b]);
+        m.set_objective([(a, 1.0), (b, 1.0)]);
+        let r = audit(&m);
+        assert!(r.has_errors());
+        assert!(kinds(&r).contains(&AuditKind::Sos1MissingConvexityRow));
+
+        // Adding the convexity row clears the error.
+        m.add_eq([(a, 1.0), (b, 1.0)], 1.0);
+        let r = audit(&m);
+        assert!(!r.has_errors(), "{}", r.summary());
+    }
+
+    #[test]
+    fn detects_sos1_duplicate_and_empty() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        m.add_sos1(vec![a, a]);
+        m.add_sos1(vec![]);
+        m.add_eq([(a, 1.0)], 1.0); // convexity row for the deduped group
+        m.set_objective([(a, 1.0)]);
+        let r = audit(&m);
+        let ks = kinds(&r);
+        assert!(
+            ks.contains(&AuditKind::Sos1DuplicateMember),
+            "{}",
+            r.summary()
+        );
+        assert!(ks.contains(&AuditKind::Sos1Empty), "{}", r.summary());
+    }
+
+    #[test]
+    fn reports_unused_variables_and_redundant_rows() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let _dead = m.add_continuous("dead", 0.0, 1.0);
+        m.add_le([(a, 1.0)], 5.0); // vacuous for a binary
+        m.set_objective([(a, 1.0)]);
+        let r = audit(&m);
+        let ks = kinds(&r);
+        assert!(ks.contains(&AuditKind::UnusedVariable));
+        assert!(ks.contains(&AuditKind::RedundantConstraint));
+        assert!(!r.has_errors());
+        assert!(!r.has_warnings());
+    }
+
+    #[test]
+    fn flags_poor_conditioning() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 1.0);
+        m.add_le([(x, 1e-9), (y, 1e9)], 1.0);
+        m.set_objective([(x, 1.0)]);
+        let r = audit(&m);
+        assert!(kinds(&r).contains(&AuditKind::PoorConditioning));
+    }
+
+    #[test]
+    fn findings_sorted_most_severe_first() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let _dead = m.add_continuous("dead", 0.0, 1.0);
+        m.add_sos1(vec![a]); // no convexity row → error
+        m.set_objective([(a, 1.0)]);
+        let r = audit(&m);
+        let sevs: Vec<AuditSeverity> = r.findings().iter().map(AuditFinding::severity).collect();
+        let mut sorted = sevs.clone();
+        sorted.sort_by(|x, y| y.cmp(x));
+        assert_eq!(sevs, sorted);
+    }
+
+    #[test]
+    fn metrics_record_finding_counts() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let d = m.add_binary("d");
+        m.add_le([(x, 1.0), (d, 1e6)], 2.0 + 1e6);
+        m.add_sos1(vec![]);
+        m.set_objective([(x, -1.0)]);
+        let sink = Arc::new(Telemetry::new());
+        let metrics = MetricsHandle::of(sink.clone());
+        let r = audit_with(&m, &metrics);
+        assert_eq!(
+            sink.counter(Counter::AuditErrors),
+            r.count(AuditSeverity::Error) as u64
+        );
+        assert_eq!(
+            sink.counter(Counter::AuditWarnings),
+            r.count(AuditSeverity::Warning) as u64
+        );
+        assert_eq!(sink.counter(Counter::AuditBigMTightened), 1);
+        assert!(sink.report().stage_calls(Stage::Audit) >= 1);
+    }
+}

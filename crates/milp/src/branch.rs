@@ -40,6 +40,7 @@ pub enum Status {
 
 /// Result of a MILP solve.
 #[derive(Clone, Debug)]
+#[must_use = "a solver result must be inspected for its status"]
 pub struct MilpSolution {
     /// Outcome class.
     pub status: Status,
@@ -110,7 +111,6 @@ impl Default for SolveParams {
 }
 
 /// Convenience wrapper around [`Solver`].
-#[must_use]
 pub fn solve(model: &Model, params: &SolveParams) -> MilpSolution {
     Solver::new(model, params.clone()).run()
 }
@@ -329,7 +329,7 @@ impl<'a> Solver<'a> {
             let frac = (x - x.round()).abs();
             if frac > INT_TOL {
                 let score = (x - x.floor() - 0.5).abs(); // smaller = more fractional
-                if best.is_none() || score < best.unwrap().1 {
+                if best.is_none_or(|(_, s)| score < s) {
                     best = Some((v, score));
                 }
             }

@@ -37,10 +37,12 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 mod branch;
 pub mod lp;
 mod model;
 mod presolve;
 
+pub use audit::{AuditFinding, AuditKind, AuditReport, AuditSeverity, BigMFix};
 pub use branch::{solve, MilpSolution, SolveParams, Solver, Status};
 pub use model::{ConstraintSense, LinExpr, Model, VarId, VarKind};

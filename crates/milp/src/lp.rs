@@ -349,7 +349,7 @@ impl Simplex {
                         enter = Some((j, d.abs(), dir));
                         break;
                     }
-                    if enter.is_none() || d.abs() > enter.unwrap().1 {
+                    if enter.is_none_or(|(_, mag, _)| d.abs() > mag) {
                         enter = Some((j, d.abs(), dir));
                     }
                 }

@@ -221,7 +221,7 @@ impl Design {
             .library
             .cell(cell)
             .pin_index(pin_name)
-            .unwrap_or_else(|| panic!("no pin {pin_name} on {}", self.library.cell(cell).name));
+            .unwrap_or_else(|| panic!("no pin {pin_name} on {}", self.library.cell(cell).name)); // lint: allow(documented `# Panics` contract)
         assert!(
             self.insts[inst.0].pin_nets[pin].is_none(),
             "pin {pin_name} of {} already connected",

@@ -155,7 +155,7 @@ impl GeneratorConfig {
 
         // ---- choose cells ----------------------------------------------
         let comb_choices = comb_cell_weights(library, self.xor_bias);
-        let dff = *library.sequential().first().expect("library has a DFF");
+        let dff = *library.sequential().first().expect("library has a DFF"); // lint: allow(documented `# Panics` contract)
         let n_ff = ((self.n_insts as f64) * self.ff_ratio).round() as usize;
         let n_comb = self.n_insts.saturating_sub(n_ff).max(1);
 
@@ -360,13 +360,18 @@ fn comb_cell_weights(library: &Library, xor_bias: f64) -> Vec<(usize, f64)> {
 fn weighted_pick(rng: &mut SplitMix64, choices: &[(usize, f64)]) -> usize {
     let total: f64 = choices.iter().map(|(_, w)| w).sum();
     let mut r = rng.next_f64() * total;
+    // Rounding can leave r marginally positive after the loop; the last
+    // visited choice then wins (0 is unreachable: callers never pass an
+    // empty choice list).
+    let mut pick = 0;
     for &(c, w) in choices {
+        pick = c;
         r -= w;
         if r <= 0.0 {
-            return c;
+            break;
         }
     }
-    choices.last().expect("non-empty choices").0
+    pick
 }
 
 #[cfg(test)]

@@ -90,11 +90,24 @@ pub enum Counter {
     Iterations,
     /// Parameter sets of the optimization sequence processed.
     ParamSets,
+    /// Error-severity findings reported by the static auditors
+    /// (`milp::audit` model lint, `place::verify`, `core::audit`).
+    AuditErrors,
+    /// Warning-severity findings reported by the static auditors.
+    AuditWarnings,
+    /// Big-M indicator coefficients the MILP model linter proved loose
+    /// and tightened against derived variable bounds.
+    AuditBigMTightened,
+    /// Placement invariants checked by `place::verify` /
+    /// `core::audit` checkpoint runs.
+    AuditPlacementChecks,
+    /// Placement invariant violations found by checkpoint runs.
+    AuditPlacementViolations,
 }
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 23] = [
         Counter::BbNodes,
         Counter::BbNodesPruned,
         Counter::LpSolves,
@@ -113,6 +126,11 @@ impl Counter {
         Counter::DistOptPasses,
         Counter::Iterations,
         Counter::ParamSets,
+        Counter::AuditErrors,
+        Counter::AuditWarnings,
+        Counter::AuditBigMTightened,
+        Counter::AuditPlacementChecks,
+        Counter::AuditPlacementViolations,
     ];
 
     /// Stable snake_case name used as the JSON/CSV key.
@@ -137,6 +155,11 @@ impl Counter {
             Counter::DistOptPasses => "distopt_passes",
             Counter::Iterations => "iterations",
             Counter::ParamSets => "param_sets",
+            Counter::AuditErrors => "audit_errors",
+            Counter::AuditWarnings => "audit_warnings",
+            Counter::AuditBigMTightened => "audit_bigm_tightened",
+            Counter::AuditPlacementChecks => "audit_placement_checks",
+            Counter::AuditPlacementViolations => "audit_placement_violations",
         }
     }
 }
@@ -169,11 +192,14 @@ pub enum Stage {
     Route,
     /// STA + power analysis of the measurement flow.
     Analysis,
+    /// Static audits: MILP model lint and placement invariant
+    /// verification (checkpoints and explicit `--audit` runs).
+    Audit,
 }
 
 impl Stage {
     /// Every stage, in discriminant order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Vm1Opt,
         Stage::Perturb,
         Stage::Flip,
@@ -183,6 +209,7 @@ impl Stage {
         Stage::MilpSolve,
         Stage::Route,
         Stage::Analysis,
+        Stage::Audit,
     ];
 
     /// Stable snake_case name used as the JSON/CSV key.
@@ -198,6 +225,7 @@ impl Stage {
             Stage::MilpSolve => "milp_solve",
             Stage::Route => "route",
             Stage::Analysis => "analysis",
+            Stage::Audit => "audit",
         }
     }
 }
@@ -286,17 +314,19 @@ impl Telemetry {
 
     /// Takes an owned snapshot of everything recorded so far.
     ///
-    /// # Panics
-    ///
-    /// Panics if a recording thread panicked while holding the trajectory
-    /// lock.
-    #[must_use]
+    /// Trajectory points recorded by a thread that panicked mid-push are
+    /// still returned: lock poisoning is ignored (the vector is always in
+    /// a consistent state because `push` is the only mutation).
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
             counters: Counter::ALL.map(|c| self.counter(c)),
             stage_nanos: Stage::ALL.map(|s| self.stage_nanos(s)),
             stage_calls: Stage::ALL.map(|s| self.stage_calls[s as usize].load(Ordering::Relaxed)),
-            trajectory: self.trajectory.lock().expect("trajectory lock").clone(),
+            trajectory: self
+                .trajectory
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
         }
     }
 }
@@ -312,7 +342,10 @@ impl MetricsSink for Telemetry {
     }
 
     fn record_point(&self, point: TrajectoryPoint) {
-        self.trajectory.lock().expect("trajectory lock").push(point);
+        self.trajectory
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(point);
     }
 }
 
@@ -411,6 +444,7 @@ impl MetricsHandle {
 
 /// Owned snapshot of a [`Telemetry`] sink.
 #[derive(Clone, Debug, Default, PartialEq)]
+#[must_use = "a metrics report is only useful if it is exported or read"]
 pub struct MetricsReport {
     counters: [u64; Counter::ALL.len()],
     stage_nanos: [u64; Stage::ALL.len()],

@@ -127,9 +127,8 @@ fn pack_row(design: &Design, members: &[InstId], sites: i64) -> Result<Vec<i64>,
         };
         c.x = place_cluster(&c, sites);
         // Merge while overlapping the previous cluster.
-        while let Some(prev) = clusters.last() {
+        while let Some(prev) = clusters.pop() {
             if prev.x + prev.width > c.x {
-                let prev = clusters.pop().expect("non-empty");
                 // Merging shifts c's members' offsets by prev.width.
                 c = Cluster {
                     first: prev.first,
@@ -140,6 +139,7 @@ fn pack_row(design: &Design, members: &[InstId], sites: i64) -> Result<Vec<i64>,
                 };
                 c.x = place_cluster(&c, sites);
             } else {
+                clusters.push(prev);
                 break;
             }
         }

@@ -146,9 +146,12 @@ fn pack_rows(
         } else {
             // Last row full: fall back to the emptiest earlier row (rare
             // fragmentation case at very high utilization).
-            let t = (0..num_rows as usize)
-                .min_by_key(|&r| loads[r])
-                .expect("at least one row");
+            let mut t = 0usize;
+            for r in 1..num_rows as usize {
+                if loads[r] < loads[t] {
+                    t = r;
+                }
+            }
             assert!(
                 loads[t] + w <= sites_per_row,
                 "cannot pack rows: total {total} sites into {num_rows}x{sites_per_row}"

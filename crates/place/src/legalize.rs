@@ -64,7 +64,7 @@ fn find_nearest_span(
             // Scan for the nearest free span in this row.
             if let Some(site) = nearest_free_in_row(map, row, want_site, w, sites) {
                 let cost = (site - want_site).abs() + dr * 8; // rows are ~8x taller
-                if best.is_none() || cost < best.unwrap().0 {
+                if best.is_none_or(|(c, _, _)| cost < c) {
                     best = Some((cost, site, row));
                 }
             }

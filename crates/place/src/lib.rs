@@ -31,9 +31,14 @@ mod global;
 mod legalize;
 mod refine;
 mod rowmap;
+pub mod verify;
 
 pub use abacus::legalize_abacus;
 pub use global::{place, scatter, PlaceConfig};
 pub use legalize::legalize;
 pub use refine::{greedy_refine, RefineStats};
 pub use rowmap::RowMap;
+pub use verify::{
+    verify_against, verify_placement, DisplacementBounds, PlacementSnapshot, PlacementViolation,
+    VerifyReport,
+};

@@ -13,6 +13,7 @@ use vm1_netlist::{Design, InstId, NetId};
 
 /// Statistics from [`greedy_refine`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "dropping refinement statistics usually means a result went unchecked"]
 pub struct RefineStats {
     /// Accepted slide moves.
     pub moves: usize,

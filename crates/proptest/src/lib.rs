@@ -296,6 +296,8 @@ pub mod test_runner {
     /// Drives one property test: generates inputs from `strategy` until
     /// `config.cases` cases have been accepted, panicking on the first
     /// failure with the offending input.
+    // By-value `strategy` mirrors the upstream proptest signature.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, body: F)
     where
         S: Strategy,

@@ -191,9 +191,9 @@ pub fn search(
             if !grid.passable(nb, allowed) {
                 return;
             }
-            let e = grid
-                .edge_between(node, nb)
-                .expect("adjacent nodes form an edge");
+            let Some(e) = grid.edge_between(node, nb) else {
+                return; // not a grid neighbour: nothing to relax
+            };
             let ng = g + edge_cost(e, step);
             let i = nb as usize;
             if !space.seen(nb) || ng < space.dist[i] {

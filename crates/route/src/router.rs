@@ -220,17 +220,15 @@ fn route_net(
 
     while !remaining.is_empty() {
         // Nearest unconnected pin to any connected pin (centre distance).
-        let (pick_pos, &pin_idx) = remaining
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &p)| {
-                connected
-                    .iter()
-                    .map(|&q| pin_dist(&pins[p], &pins[q]))
-                    .min()
-                    .unwrap_or(i64::MAX)
-            })
-            .expect("remaining non-empty");
+        let Some((pick_pos, &pin_idx)) = remaining.iter().enumerate().min_by_key(|&(_, &p)| {
+            connected
+                .iter()
+                .map(|&q| pin_dist(&pins[p], &pins[q]))
+                .min()
+                .unwrap_or(i64::MAX)
+        }) else {
+            break; // loop guard makes this unreachable
+        };
         remaining.swap_remove(pick_pos);
         let target = &pins[pin_idx];
 
@@ -373,9 +371,9 @@ fn try_dm1(
                 continue 'col;
             }
             if y < hi {
-                let e = grid
-                    .edge_between(n, grid.node(Layer::M1, c, y + 1))
-                    .expect("vertical M1 edge");
+                let Some(e) = grid.edge_between(n, grid.node(Layer::M1, c, y + 1)) else {
+                    continue 'col;
+                };
                 if grid.usage(e) > 0 {
                     continue 'col;
                 }
@@ -388,9 +386,9 @@ fn try_dm1(
             if !allowed.contains(&m0) {
                 continue 'col;
             }
-            let e = grid
-                .edge_between(m0, grid.node(Layer::M1, c, y_a))
-                .expect("V01");
+            let Some(e) = grid.edge_between(m0, grid.node(Layer::M1, c, y_a)) else {
+                continue 'col;
+            };
             if grid.usage(e) > 0 {
                 continue 'col;
             }
@@ -400,9 +398,9 @@ fn try_dm1(
             if !allowed.contains(&m0) {
                 continue 'col;
             }
-            let e = grid
-                .edge_between(m0, grid.node(Layer::M1, c, y_b))
-                .expect("V01");
+            let Some(e) = grid.edge_between(m0, grid.node(Layer::M1, c, y_b)) else {
+                continue 'col;
+            };
             if grid.usage(e) > 0 {
                 continue 'col;
             }
@@ -436,11 +434,11 @@ fn commit_dm1(
         let n = grid.node(Layer::M1, plan.col, y);
         tree_nodes.push(n);
         if y < hi {
-            let e = grid
-                .edge_between(n, grid.node(Layer::M1, plan.col, y + 1))
-                .expect("vertical M1 edge");
-            grid.add_usage(e, 1);
-            out.edges.push(e);
+            // try_dm1 already walked these edges, so they exist.
+            if let Some(e) = grid.edge_between(n, grid.node(Layer::M1, plan.col, y + 1)) {
+                grid.add_usage(e, 1);
+                out.edges.push(e);
+            }
         }
     }
     if lo < hi {
@@ -455,12 +453,11 @@ fn commit_dm1(
     for (is_via, y) in [(plan.via_a, plan.y_a), (plan.via_b, plan.y_b)] {
         if is_via {
             let m0 = grid.node(Layer::M0, plan.col, y);
-            let e = grid
-                .edge_between(m0, grid.node(Layer::M1, plan.col, y))
-                .expect("V01");
-            grid.add_usage(e, 1);
-            out.edges.push(e);
-            out.vias[0] += 1;
+            if let Some(e) = grid.edge_between(m0, grid.node(Layer::M1, plan.col, y)) {
+                grid.add_usage(e, 1);
+                out.edges.push(e);
+                out.vias[0] += 1;
+            }
             tree_nodes.push(m0);
         }
     }
@@ -478,9 +475,10 @@ fn commit_path(
     let mut m1_runs = 0usize;
     let mut non_pin_via = false;
     for w in path.windows(2) {
-        let e = grid
-            .edge_between(w[0], w[1])
-            .expect("path edges are adjacent");
+        // Maze search only ever steps between grid neighbours.
+        let Some(e) = grid.edge_between(w[0], w[1]) else {
+            continue;
+        };
         grid.add_usage(e, 1);
         out.edges.push(e);
         if let Edge::Via(_) = e {

@@ -31,12 +31,14 @@ pub fn rmst_length(points: &[Point]) -> Dbu {
     }
     let mut total = 0i64;
     for _ in 1..n {
-        let (best, &d) = dist
+        let Some((best, &d)) = dist
             .iter()
             .enumerate()
             .filter(|(j, _)| !in_tree[*j])
             .min_by_key(|(_, &d)| d)
-            .expect("some node outside the tree");
+        else {
+            break; // loop runs n-1 times over n-1 outside nodes
+        };
         total += d;
         in_tree[best] = true;
         for j in 0..n {

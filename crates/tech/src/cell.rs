@@ -219,7 +219,7 @@ impl MacroCell {
         self.pins
             .iter()
             .find(|p| p.dir == PinDir::Out)
-            .expect("cell has an output pin")
+            .expect("cell has an output pin") // lint: allow(documented `# Panics` contract)
     }
 
     /// Looks up a pin by name.

@@ -25,7 +25,7 @@ fn main() {
         let cfg = Vm1Config::closedm1();
 
         let (init, _) = measure(&tc, &cfg);
-        Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
+        let _ = Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
         let (fin, _) = measure(&tc, &cfg);
 
         println!(

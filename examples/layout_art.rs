@@ -28,7 +28,7 @@ fn main() {
     );
     println!("{}", render_placement(&tc.design, &cfg, 100));
 
-    Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
+    let _ = Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
 
     println!(
         "after  ({} alignable pairs):",

@@ -19,4 +19,23 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== audit: source lint =="
+scripts/lint
+
+echo "== audit: debug-assertion test pass (placement checkpoints active) =="
+# [profile.test] keeps debug assertions on, so the suite above already
+# exercises every debug_checkpoint; this re-runs just the audit-layer
+# crates explicitly so a checkpoint regression fails the stage by name.
+cargo test -q -p vm1-milp -p vm1-place -p vm1-core audit
+
+echo "== audit: vm1dp --audit on a generated smoke design =="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    gen --profile m0 --scale 0.2 --seed 7 -o "$smoke_dir/smoke.def"
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    opt -i "$smoke_dir/smoke.def" -o "$smoke_dir/smoke_opt.def" --audit
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    audit -i "$smoke_dir/smoke_opt.def"
+
 echo "CI OK"

@@ -43,7 +43,7 @@ fn objective_decreases_monotonically_through_vm1opt() {
 fn optimized_placement_survives_def_round_trip() {
     let mut tc = build_testcase(&flow(CellArch::ClosedM1, 3));
     let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 2, 1)]);
-    Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
+    let _ = Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
     let lib = Library::synthetic_7nm(CellArch::ClosedM1);
     let text = write_def(&tc.design);
     let back = read_def(&text, &lib).expect("round trip");
@@ -65,7 +65,7 @@ fn alignment_count_predicts_dm1_gain() {
     let mut tc = build_testcase(&flow(CellArch::ClosedM1, 4));
     let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
     let (init, _) = measure(&tc, &cfg);
-    Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
+    let _ = Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
     let (fin, _) = measure(&tc, &cfg);
     let d_align = fin.alignments as i64 - init.alignments as i64;
     let d_dm1 = fin.dm1 as i64 - init.dm1 as i64;
@@ -149,7 +149,7 @@ fn fixed_cells_are_never_moved_by_the_optimizer() {
         })
         .collect();
     let cfg = Vm1Config::closedm1().with_sequence(vec![ParamSet::new(3.0, 3, 1)]);
-    Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
+    let _ = Vm1Optimizer::new(cfg.clone()).run(&mut tc.design);
     for (&v, &b) in victims.iter().zip(&before) {
         let i = tc.design.inst(v);
         assert_eq!((i.site, i.row, i.orient), b, "fixed cell moved");
