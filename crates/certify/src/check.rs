@@ -1,0 +1,1193 @@
+//! The certificate checker: replays a [`Certificate`] against the
+//! original [`Model`] in exact rational arithmetic.
+//!
+//! The checker shares **no code** with the solver's LP or
+//! branch-and-bound modules and never trusts a recorded conclusion; it
+//! recomputes everything from the recorded *witnesses*:
+//!
+//! * every dual vector is turned into a weak-duality lower bound on its
+//!   node's subdomain (any sign-feasible multiplier vector yields a
+//!   valid bound, so the checker clamps wrong-signed and
+//!   unrepresentable entries to zero — a safe weakening);
+//! * every Farkas witness must prove its node's LP infeasible by
+//!   driving the zero-objective dual bound strictly positive;
+//! * the branching tree must partition each parent's domain (floor/ceil
+//!   splits on integer variables, SOS1 forbid-set splits backed by an
+//!   exact `sum == 1` convexity row);
+//! * the recorded root domain must cover everything an exact replay of
+//!   presolve can prove, so no feasible point was dropped before the
+//!   search began;
+//! * the incumbent must be exactly integral on integer variables and
+//!   feasible within a tiny dyadic tolerance, and a claimed `Optimal`
+//!   is accepted only when the incumbent's exact objective is
+//!   sandwiched by the recomputed tree bound.
+//!
+//! Floating-point values from the certificate enter exactly once, via
+//! [`Rat::from_f64`] (an exact conversion); no verdict ever depends on
+//! float comparison or float arithmetic.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use vm1_milp::{BranchStep, Certificate, ConstraintSense, Model, NodeOutcome, Status, VarKind};
+
+use crate::rat::{Ext, Overflow, Rat};
+
+/// Feasibility / objective-agreement tolerance: `2^-20` (~9.5e-7),
+/// scaled by the magnitude of the quantity being checked. Exactly
+/// representable, so the *comparison* against it is exact.
+fn eps_abs() -> Rat {
+    Rat::dyadic(20)
+}
+
+/// Per-unit-of-domain-range dual-drift allowance: `2^-23` (~1.2e-7).
+/// The solver stops pricing at reduced costs below its `COST_TOL`
+/// (1e-7), so each recorded dual under-bounds its node LP by at most
+/// `COST_TOL` times the total variable range; `2^-23` dominates that.
+fn eps_dual() -> Rat {
+    Rat::dyadic(23)
+}
+
+/// Presolve-replay fixpoint cap. The solver runs 5 rounds; the replay
+/// is at least as tight per round (exact arithmetic, merged
+/// coefficients, no suppression thresholds), so any cap `>= 5` keeps
+/// the replayed box inside the solver's.
+const REPLAY_ROUNDS: usize = 50;
+
+/// Outcome of checking one certificate against its model.
+///
+/// `accepted` is true iff `reasons` is empty; every failed check pushes
+/// a human-readable reason, so a rejection always says why.
+#[derive(Clone, Debug)]
+#[must_use = "a check report must be inspected for acceptance"]
+pub struct CheckReport {
+    /// Whether the certificate proves the claimed status.
+    pub accepted: bool,
+    /// Why the certificate was rejected (empty iff `accepted`).
+    pub reasons: Vec<String>,
+    /// Number of tree nodes replayed.
+    pub nodes_checked: usize,
+    /// Number of leaves in the replayed tree.
+    pub leaves: usize,
+    /// Leaves whose claimed infeasibility could not be proven exactly
+    /// and were soundly downgraded to their ancestor's dual bound. A
+    /// nonzero count with `accepted` still means the optimum is
+    /// certified — the surviving bounds sandwich it — just through a
+    /// weaker route than the solver took.
+    pub downgraded_leaves: usize,
+}
+
+impl CheckReport {
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.accepted {
+            let downgrades = if self.downgraded_leaves > 0 {
+                format!(", {} downgraded", self.downgraded_leaves)
+            } else {
+                String::new()
+            };
+            format!(
+                "certificate ACCEPTED ({} nodes, {} leaves{downgrades})",
+                self.nodes_checked, self.leaves
+            )
+        } else {
+            format!(
+                "certificate REJECTED ({} nodes, {} leaves): {}",
+                self.nodes_checked,
+                self.leaves,
+                self.reasons.join("; ")
+            )
+        }
+    }
+}
+
+/// Replays `cert` against `model` and verifies every recorded witness
+/// in exact rational arithmetic.
+///
+/// The checker fails closed: anything it cannot verify exactly —
+/// malformed structure, unrepresentable numbers, arithmetic overflow on
+/// a path that must *prove* something — rejects the certificate rather
+/// than weakening the verdict.
+pub fn check(model: &Model, cert: &Certificate) -> CheckReport {
+    let mut checker = match Checker::new(model, cert) {
+        Ok(c) => c,
+        Err(reason) => {
+            return CheckReport {
+                accepted: false,
+                reasons: vec![reason],
+                nodes_checked: cert.nodes.len(),
+                leaves: 0,
+                downgraded_leaves: 0,
+            }
+        }
+    };
+    checker.run();
+    checker.finish()
+}
+
+/// One constraint row with merged, exactly-converted coefficients.
+struct ExactRow {
+    /// `(variable index, coefficient)`, duplicates merged, zeros dropped.
+    terms: Vec<(usize, Rat)>,
+    sense: ConstraintSense,
+    rhs: Rat,
+}
+
+/// The model, converted once into exact rationals.
+struct ExactModel {
+    kind: Vec<VarKind>,
+    /// Declared lower bounds (always finite by [`Model`]'s contract).
+    lb: Vec<Rat>,
+    /// Declared upper bounds (`+inf` allowed on continuous variables).
+    ub: Vec<Ext>,
+    obj: Vec<Rat>,
+    rows: Vec<ExactRow>,
+    /// Column view of `rows`: `cols[j]` lists `(row, coeff)` pairs.
+    cols: Vec<Vec<(usize, Rat)>>,
+    /// SOS1 groups as member-index lists.
+    sos: Vec<Vec<usize>>,
+}
+
+fn exact_model(model: &Model) -> Result<ExactModel, String> {
+    let n = model.num_vars();
+    let mut kind = Vec::with_capacity(n);
+    let mut lb = Vec::with_capacity(n);
+    let mut ub = Vec::with_capacity(n);
+    for j in 0..n {
+        let v = model.var_id(j);
+        kind.push(model.var_kind(v));
+        let (l, u) = model.var_bounds(v);
+        lb.push(Rat::from_f64(l).map_err(|_| {
+            format!("declared lower bound of x{j} ({l}) is not exactly representable")
+        })?);
+        ub.push(Ext::from_f64(u).map_err(|_| {
+            format!("declared upper bound of x{j} ({u}) is not exactly representable")
+        })?);
+    }
+    let obj = model
+        .objective_coeffs()
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| {
+            Rat::from_f64(c).map_err(|_| {
+                format!("objective coefficient of x{j} ({c}) is not exactly representable")
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut rows = Vec::with_capacity(model.num_constraints());
+    let mut cols: Vec<Vec<(usize, Rat)>> = vec![Vec::new(); n];
+    for i in 0..model.num_constraints() {
+        let mut merged: BTreeMap<usize, Rat> = BTreeMap::new();
+        for &(v, c) in model.constraint_terms(i) {
+            let c = Rat::from_f64(c)
+                .map_err(|_| format!("coefficient {c} in row {i} is not exactly representable"))?;
+            let j = v.index();
+            let cur = merged.get(&j).copied().unwrap_or(Rat::zero());
+            let sum = cur.add(c).map_err(|_| {
+                format!("merging duplicate coefficients of x{j} in row {i} overflowed")
+            })?;
+            merged.insert(j, sum);
+        }
+        let terms: Vec<(usize, Rat)> = merged
+            .into_iter()
+            .filter(|&(_, c)| c.signum() != 0)
+            .collect();
+        let rhs = model.constraint_rhs(i);
+        let rhs = Rat::from_f64(rhs)
+            .map_err(|_| format!("rhs of row {i} ({rhs}) is not exactly representable"))?;
+        for &(j, c) in &terms {
+            cols[j].push((i, c));
+        }
+        rows.push(ExactRow {
+            terms,
+            sense: model.constraint_sense(i),
+            rhs,
+        });
+    }
+    let sos = model
+        .sos1_groups()
+        .iter()
+        .map(|g| g.iter().map(|v| v.index()).collect())
+        .collect();
+    Ok(ExactModel {
+        kind,
+        lb,
+        ub,
+        obj,
+        rows,
+        cols,
+        sos,
+    })
+}
+
+/// Weak-duality lower bound from a recorded multiplier vector over the
+/// box `[lb, ub]`:
+///
+/// `bound(y) = sum_i y_i * b_i + sum_j min over [l_j, u_j] of d_j x_j`
+/// with `d_j = c_j - sum_i y_i a_ij` (and `c = 0` for Farkas checks).
+///
+/// Entries with the wrong sign for their row sense are clamped to zero,
+/// and every entry is projected onto the dyadic grid `k / 2^32` first
+/// (see [`grid_multiplier`]): any sign-feasible `y` yields a valid
+/// bound, so both adjustments only weaken it.
+fn weak_dual_bound(
+    em: &ExactModel,
+    duals: &[f64],
+    lb: &[Rat],
+    ub: &[Ext],
+    with_objective: bool,
+) -> Result<Ext, Overflow> {
+    let mut base = Rat::zero();
+    let mut y = Vec::with_capacity(em.rows.len());
+    for (row, &yf) in em.rows.iter().zip(duals) {
+        let mut yi = grid_multiplier(yf);
+        match row.sense {
+            ConstraintSense::Le => {
+                if yi.signum() > 0 {
+                    yi = Rat::zero();
+                }
+            }
+            ConstraintSense::Ge => {
+                if yi.signum() < 0 {
+                    yi = Rat::zero();
+                }
+            }
+            ConstraintSense::Eq => {}
+        }
+        base = base.add(yi.mul(row.rhs)?)?;
+        y.push(yi);
+    }
+    let mut bound = Ext::Fin(base);
+    for j in 0..lb.len() {
+        let mut d = if with_objective {
+            em.obj[j]
+        } else {
+            Rat::zero()
+        };
+        for &(ri, a) in &em.cols[j] {
+            d = d.sub(y[ri].mul(a)?)?;
+        }
+        let term = match d.signum() {
+            0 => continue,
+            1 => Ext::Fin(d.mul(lb[j])?),
+            // d < 0: the minimum is at the upper bound; an infinite
+            // upper bound drives the whole bound to -inf.
+            _ => ub[j].mul_rat(d)?,
+        };
+        bound = bound.add(term)?;
+        if bound == Ext::NegInf {
+            return Ok(Ext::NegInf);
+        }
+    }
+    Ok(bound)
+}
+
+/// Denominator of the multiplier grid: recorded duals are projected
+/// onto multiples of `2^-32` before entering the exact accumulation.
+const GRID_DEN: i128 = 1 << 32;
+
+/// Projects a recorded multiplier onto the dyadic grid `k / 2^32`,
+/// rounding toward zero (so the sign never flips). Any sign-feasible
+/// multiplier vector is a valid weak-duality witness, so coarsening is
+/// sound — it can only weaken the computed bound — while capping the
+/// denominators that enter the accumulation: raw simplex duals carry
+/// ~`2^50` denominators whose products overflow `i128` on realistic
+/// window models. The value lost per row is below `2^-32 * |row|`,
+/// orders of magnitude inside the `2^-23`-per-unit-of-range slack the
+/// gap check already grants the solver's float pricing.
+fn grid_multiplier(v: f64) -> Rat {
+    let scaled = (v * GRID_DEN as f64).trunc();
+    if !(scaled.is_finite() && scaled.abs() < 9.0e18) {
+        // Unrepresentable multiplier: zero is always sign-feasible.
+        return Rat::zero();
+    }
+    Rat::new(scaled as i128, GRID_DEN).unwrap_or(Rat::zero())
+}
+
+/// Result of the exact presolve replay.
+enum Replay {
+    /// The tightest box the replay can prove contains every feasible
+    /// point.
+    Bounds(Vec<Rat>, Vec<Ext>),
+    /// The replay proved the model infeasible outright.
+    Infeasible,
+    /// Exact arithmetic overflowed; no replayed box is available.
+    Unavailable,
+}
+
+/// Replays activity-based bound tightening in exact arithmetic over the
+/// starting box `[lb0, ub0]`: the same in-place sweep the solver's
+/// presolve performs, but with merged coefficients, no suppression
+/// tolerances, no redundant-row skipping, exact integer rounding, and
+/// more rounds — so the replayed box is always at least as tight as the
+/// solver's. Used from the declared bounds to validate the recorded
+/// root domain, and from a node-local box as an independent
+/// infeasibility prover when a Farkas witness falls short.
+fn replay_presolve(em: &ExactModel, lb0: &[Rat], ub0: &[Ext]) -> Replay {
+    match replay_inner(em, lb0, ub0) {
+        Ok(r) => r,
+        Err(Overflow) => Replay::Unavailable,
+    }
+}
+
+fn replay_inner(em: &ExactModel, lb0: &[Rat], ub0: &[Ext]) -> Result<Replay, Overflow> {
+    let mut lb = lb0.to_vec();
+    let mut ub = ub0.to_vec();
+    for j in 0..lb.len() {
+        if Ext::Fin(lb[j]).cmp_exact(ub[j])? == Ordering::Greater {
+            return Ok(Replay::Infeasible);
+        }
+    }
+    for _ in 0..REPLAY_ROUNDS {
+        let mut changed = false;
+        for row in &em.rows {
+            let (lo, hi) = match row.sense {
+                ConstraintSense::Le => (Ext::NegInf, Ext::Fin(row.rhs)),
+                ConstraintSense::Ge => (Ext::Fin(row.rhs), Ext::PosInf),
+                ConstraintSense::Eq => (Ext::Fin(row.rhs), Ext::Fin(row.rhs)),
+            };
+            // Per-term contribution intervals over the current box.
+            let mut contrib = Vec::with_capacity(row.terms.len());
+            let mut min_act = Ext::Fin(Rat::zero());
+            let mut max_act = Ext::Fin(Rat::zero());
+            for &(j, c) in &row.terms {
+                let (cmin, cmax) = if c.signum() >= 0 {
+                    (Ext::Fin(c.mul(lb[j])?), ub[j].mul_rat(c)?)
+                } else {
+                    (ub[j].mul_rat(c)?, Ext::Fin(c.mul(lb[j])?))
+                };
+                min_act = min_act.add(cmin)?;
+                max_act = max_act.add(cmax)?;
+                contrib.push((cmin, cmax));
+            }
+            if min_act.cmp_exact(hi)? == Ordering::Greater
+                || max_act.cmp_exact(lo)? == Ordering::Less
+            {
+                return Ok(Replay::Infeasible);
+            }
+            for (t, &(j, c)) in row.terms.iter().enumerate() {
+                // Activity of the rest of the row, summed directly so
+                // infinities never cancel incorrectly.
+                let mut rest_min = Ext::Fin(Rat::zero());
+                let mut rest_max = Ext::Fin(Rat::zero());
+                for (s, &(cmin, cmax)) in contrib.iter().enumerate() {
+                    if s != t {
+                        rest_min = rest_min.add(cmin)?;
+                        rest_max = rest_max.add(cmax)?;
+                    }
+                }
+                // expr <= hi:  c x <= hi - rest_min.
+                if let (Ext::Fin(h), Ext::Fin(rm)) = (hi, rest_min) {
+                    let v = h.sub(rm)?.div(c)?;
+                    if c.signum() > 0 {
+                        let nu = round_down(em.kind[j], v);
+                        if Ext::Fin(nu).cmp_exact(ub[j])? == Ordering::Less {
+                            ub[j] = Ext::Fin(nu);
+                            changed = true;
+                        }
+                    } else {
+                        let nl = round_up(em.kind[j], v);
+                        if nl.cmp_exact(lb[j])? == Ordering::Greater {
+                            lb[j] = nl;
+                            changed = true;
+                        }
+                    }
+                }
+                // expr >= lo:  c x >= lo - rest_max.
+                if let (Ext::Fin(l), Ext::Fin(rm)) = (lo, rest_max) {
+                    let v = l.sub(rm)?.div(c)?;
+                    if c.signum() > 0 {
+                        let nl = round_up(em.kind[j], v);
+                        if nl.cmp_exact(lb[j])? == Ordering::Greater {
+                            lb[j] = nl;
+                            changed = true;
+                        }
+                    } else {
+                        let nu = round_down(em.kind[j], v);
+                        if Ext::Fin(nu).cmp_exact(ub[j])? == Ordering::Less {
+                            ub[j] = Ext::Fin(nu);
+                            changed = true;
+                        }
+                    }
+                }
+                if Ext::Fin(lb[j]).cmp_exact(ub[j])? == Ordering::Greater {
+                    return Ok(Replay::Infeasible);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(Replay::Bounds(lb, ub))
+}
+
+fn round_down(kind: VarKind, v: Rat) -> Rat {
+    match kind {
+        VarKind::Continuous => v,
+        VarKind::Binary | VarKind::Integer => Rat::from_int(v.floor_int()),
+    }
+}
+
+fn round_up(kind: VarKind, v: Rat) -> Rat {
+    match kind {
+        VarKind::Continuous => v,
+        VarKind::Binary | VarKind::Integer => Rat::from_int(v.ceil_int()),
+    }
+}
+
+/// Verification result of a single node's recorded outcome.
+enum Verified {
+    /// No witness recorded; the node stands on its ancestors' bounds.
+    Open,
+    /// A weak-duality bound proven from the recorded dual witness.
+    Bound(Ext),
+    /// The node's subtree is certified to contain no feasible point.
+    InfeasibleProven,
+    /// Infeasibility was claimed but neither the Farkas witness nor the
+    /// exact replay could prove it; the node is treated like an Open
+    /// leaf (ancestor bound), which the final sandwich check gates.
+    InfeasibleUnproven,
+}
+
+/// DFS walk actions (iterative, so deep trees cannot overflow the call
+/// stack).
+enum Op {
+    /// Visit a node: apply its step, verify its outcome, schedule its
+    /// children. `inherited` is the nearest verified ancestor dual
+    /// bound, used for Open leaves.
+    Enter { node: usize, inherited: Ext },
+    /// Unwind the bound changes applied since `undo_from`.
+    Exit { undo_from: usize },
+}
+
+struct Checker<'a> {
+    em: ExactModel,
+    cert: &'a Certificate,
+    reasons: Vec<String>,
+    children: Vec<Vec<usize>>,
+    root_lb: Vec<Rat>,
+    root_ub: Vec<Ext>,
+    replay_infeasible: bool,
+    /// Minimum leaf bound across the tree (the certified global lower
+    /// bound); starts at `+inf` and only Bounded/Open leaves pull it
+    /// down.
+    global_lb: Ext,
+    leaves: usize,
+    infeasible_leaves: usize,
+    /// Leaves whose claimed infeasibility could not be proven and were
+    /// treated as Open instead (see [`Verified::InfeasibleUnproven`]).
+    downgraded_leaves: usize,
+    /// Lazily-computed "group g has an exact `sum == 1` convexity row".
+    convexity_ok: Vec<Option<bool>>,
+}
+
+impl<'a> Checker<'a> {
+    /// Builds the exact model and validates certificate *shape*; shape
+    /// errors abort immediately because the replay below cannot even
+    /// start on a malformed tree.
+    fn new(model: &Model, cert: &'a Certificate) -> Result<Checker<'a>, String> {
+        let em = exact_model(model)?;
+        let n = em.lb.len();
+        if cert.root_lb.len() != n || cert.root_ub.len() != n {
+            return Err(format!(
+                "root bounds have {}/{} entries, model has {n} variables",
+                cert.root_lb.len(),
+                cert.root_ub.len()
+            ));
+        }
+        if cert.nodes.is_empty() {
+            return Err("certificate records no tree nodes".to_owned());
+        }
+        if cert.nodes[0].parent.is_some() || cert.nodes[0].step.is_some() {
+            return Err("node 0 is not a root (has a parent or a branching step)".to_owned());
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); cert.nodes.len()];
+        for (i, node) in cert.nodes.iter().enumerate().skip(1) {
+            let Some(p) = node.parent else {
+                return Err(format!("node {i}: non-root node without a parent"));
+            };
+            if p >= i {
+                return Err(format!("node {i}: parent {p} does not precede it"));
+            }
+            if node.step.is_none() {
+                return Err(format!("node {i}: non-root node without a branching step"));
+            }
+            children[p].push(i);
+        }
+        for (i, kids) in children.iter().enumerate() {
+            if !kids.is_empty() && kids.len() != 2 {
+                return Err(format!(
+                    "node {i}: {} children (expected 0 or 2)",
+                    kids.len()
+                ));
+            }
+        }
+        let mut root_lb = Vec::with_capacity(n);
+        let mut root_ub = Vec::with_capacity(n);
+        for j in 0..n {
+            root_lb.push(Rat::from_f64(cert.root_lb[j]).map_err(|_| {
+                format!("recorded root lower bound of x{j} is not exactly representable")
+            })?);
+            root_ub.push(Ext::from_f64(cert.root_ub[j]).map_err(|_| {
+                format!("recorded root upper bound of x{j} is not exactly representable")
+            })?);
+        }
+        let num_groups = em.sos.len();
+        Ok(Checker {
+            em,
+            cert,
+            reasons: Vec::new(),
+            children,
+            root_lb,
+            root_ub,
+            replay_infeasible: false,
+            global_lb: Ext::PosInf,
+            leaves: 0,
+            infeasible_leaves: 0,
+            downgraded_leaves: 0,
+            convexity_ok: vec![None; num_groups],
+        })
+    }
+
+    fn fail(&mut self, reason: String) {
+        self.reasons.push(reason);
+    }
+
+    fn run(&mut self) {
+        self.check_root_coverage();
+        self.walk_tree();
+        let exact_obj = self.check_incumbent();
+        self.verdict(exact_obj);
+    }
+
+    /// The recorded root domain must contain every feasible point. The
+    /// exact presolve replay proves a box that does; the recorded
+    /// bounds are accepted iff they contain that box (the solver's
+    /// float presolve is strictly looser, so this is the normal case).
+    fn check_root_coverage(&mut self) {
+        match replay_presolve(&self.em, &self.em.lb, &self.em.ub) {
+            Replay::Infeasible => self.replay_infeasible = true,
+            Replay::Bounds(lb, ub) => {
+                for j in 0..lb.len() {
+                    let lb_ok = self.root_lb[j].le(lb[j]).unwrap_or(false);
+                    let ub_ok = ub[j].le(self.root_ub[j]).unwrap_or(false);
+                    if !lb_ok || !ub_ok {
+                        self.fail(format!(
+                            "root domain of x{j} [{}, {}] does not cover the presolve-provable box [{}, {}]",
+                            self.root_lb[j], self.root_ub[j], lb[j], ub[j]
+                        ));
+                    }
+                }
+            }
+            Replay::Unavailable => {
+                // Fallback: without a replayed box, only root bounds at
+                // least as loose as the declared bounds are provably
+                // covering.
+                for j in 0..self.em.lb.len() {
+                    let lb_ok = self.root_lb[j].le(self.em.lb[j]).unwrap_or(false);
+                    let ub_ok = self.em.ub[j].le(self.root_ub[j]).unwrap_or(false);
+                    if !lb_ok || !ub_ok {
+                        self.fail(format!(
+                            "presolve replay overflowed and the recorded root domain of x{j} is tighter than its declared bounds"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn walk_tree(&mut self) {
+        let cert = self.cert;
+        let mut cur_lb = self.root_lb.clone();
+        let mut cur_ub = self.root_ub.clone();
+        let mut undo: Vec<(usize, Rat, Ext)> = Vec::new();
+        let mut stack = vec![Op::Enter {
+            node: 0,
+            inherited: Ext::NegInf,
+        }];
+        while let Some(op) = stack.pop() {
+            match op {
+                Op::Exit { undo_from } => {
+                    while undo.len() > undo_from {
+                        if let Some((j, l, u)) = undo.pop() {
+                            cur_lb[j] = l;
+                            cur_ub[j] = u;
+                        }
+                    }
+                }
+                Op::Enter { node, inherited } => {
+                    let undo_from = undo.len();
+                    if let Some(step) = &cert.nodes[node].step {
+                        self.apply_step(node, step, &mut cur_lb, &mut cur_ub, &mut undo);
+                    }
+                    let own =
+                        self.verify_outcome(node, &cert.nodes[node].outcome, &cur_lb, &cur_ub);
+                    let inh = match own {
+                        Verified::Bound(b) => b,
+                        _ => inherited,
+                    };
+                    stack.push(Op::Exit { undo_from });
+                    let kids = self.children[node].clone();
+                    if kids.is_empty() {
+                        self.leaves += 1;
+                        if matches!(own, Verified::InfeasibleProven) {
+                            // A proven infeasible leaf contributes +inf:
+                            // nothing feasible exists below it.
+                            self.infeasible_leaves += 1;
+                        } else {
+                            if matches!(own, Verified::InfeasibleUnproven) {
+                                self.downgraded_leaves += 1;
+                            }
+                            self.global_lb = self.global_lb.min_exact(inh).unwrap_or(Ext::NegInf);
+                        }
+                    } else {
+                        self.validate_pair(node, &kids, &cur_lb, &cur_ub);
+                        for &k in &kids {
+                            stack.push(Op::Enter {
+                                node: k,
+                                inherited: inh,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a branching step to the working domain, recording undo
+    /// entries. An unrepresentable or out-of-range step pushes a reason
+    /// and leaves the domain untouched — a *looser* domain only weakens
+    /// the bounds computed below it, so this cannot mask an error.
+    fn apply_step(
+        &mut self,
+        node: usize,
+        step: &BranchStep,
+        cur_lb: &mut [Rat],
+        cur_ub: &mut [Ext],
+        undo: &mut Vec<(usize, Rat, Ext)>,
+    ) {
+        match step {
+            BranchStep::SetUb { var, ub } => {
+                if *var >= cur_ub.len() {
+                    self.fail(format!("node {node}: branch variable x{var} out of range"));
+                    return;
+                }
+                match Rat::from_f64(*ub) {
+                    Ok(r) => {
+                        undo.push((*var, cur_lb[*var], cur_ub[*var]));
+                        cur_ub[*var] = Ext::Fin(r);
+                    }
+                    Err(Overflow) => {
+                        self.fail(format!(
+                            "node {node}: branch bound {ub} is not exactly representable"
+                        ));
+                    }
+                }
+            }
+            BranchStep::SetLb { var, lb } => {
+                if *var >= cur_lb.len() {
+                    self.fail(format!("node {node}: branch variable x{var} out of range"));
+                    return;
+                }
+                match Rat::from_f64(*lb) {
+                    Ok(r) => {
+                        undo.push((*var, cur_lb[*var], cur_ub[*var]));
+                        cur_lb[*var] = r;
+                    }
+                    Err(Overflow) => {
+                        self.fail(format!(
+                            "node {node}: branch bound {lb} is not exactly representable"
+                        ));
+                    }
+                }
+            }
+            BranchStep::ForbidSet { vars, .. } => {
+                for &v in vars {
+                    if v >= cur_ub.len() {
+                        self.fail(format!("node {node}: forbidden variable x{v} out of range"));
+                        continue;
+                    }
+                    undo.push((v, cur_lb[v], cur_ub[v]));
+                    cur_ub[v] = Ext::Fin(Rat::zero());
+                }
+            }
+        }
+    }
+
+    /// Verifies a node's recorded outcome on its reconstructed domain.
+    fn verify_outcome(
+        &mut self,
+        node: usize,
+        outcome: &NodeOutcome,
+        lb: &[Rat],
+        ub: &[Ext],
+    ) -> Verified {
+        match outcome {
+            NodeOutcome::Open => Verified::Open,
+            NodeOutcome::Bounded { duals } => {
+                if duals.len() != self.em.rows.len() {
+                    self.fail(format!(
+                        "node {node}: dual witness has {} entries, model has {} rows",
+                        duals.len(),
+                        self.em.rows.len()
+                    ));
+                    return Verified::Bound(Ext::NegInf);
+                }
+                // Overflow weakens the bound to -inf rather than
+                // rejecting: a missing bound can only make acceptance
+                // harder, never easier.
+                Verified::Bound(
+                    weak_dual_bound(&self.em, duals, lb, ub, true).unwrap_or(Ext::NegInf),
+                )
+            }
+            NodeOutcome::Infeasible { farkas } => {
+                if !farkas.is_empty() && farkas.len() != self.em.rows.len() {
+                    self.fail(format!(
+                        "node {node}: Farkas witness has {} entries, model has {} rows",
+                        farkas.len(),
+                        self.em.rows.len()
+                    ));
+                    return Verified::InfeasibleUnproven;
+                }
+                if node == 0 && self.replay_infeasible {
+                    return Verified::InfeasibleProven;
+                }
+                // With a zero objective, weak duality says every feasible
+                // point satisfies 0 >= bound(f); a strictly positive bound
+                // therefore proves infeasibility. (An empty witness — the
+                // solver's pre-simplex bound-contradiction path — skips
+                // straight to the replay, whose up-front box scan covers
+                // exactly that case.)
+                if !farkas.is_empty()
+                    && matches!(
+                        weak_dual_bound(&self.em, farkas, lb, ub, false),
+                        Ok(Ext::Fin(b)) if b.signum() > 0
+                    )
+                {
+                    return Verified::InfeasibleProven;
+                }
+                // Independent fallback prover: exact bound tightening on
+                // the node-local box. Catches branching-induced
+                // contradictions whose float Farkas witness is too
+                // drift-damaged to verify exactly.
+                if matches!(replay_presolve(&self.em, lb, ub), Replay::Infeasible) {
+                    return Verified::InfeasibleProven;
+                }
+                // Neither prover succeeded. Downgrading (instead of
+                // rejecting) is sound: the leaf then contributes its
+                // nearest verified ancestor bound to the global lower
+                // bound, and the final sandwich check still gates
+                // acceptance.
+                Verified::InfeasibleUnproven
+            }
+        }
+    }
+
+    /// Verifies that a branched pair of children covers the parent's
+    /// domain exactly.
+    fn validate_pair(&mut self, node: usize, kids: &[usize], lb: &[Rat], ub: &[Ext]) {
+        let cert = self.cert;
+        let (Some(sa), Some(sb)) = (&cert.nodes[kids[0]].step, &cert.nodes[kids[1]].step) else {
+            return; // structurally impossible; shape check requires steps
+        };
+        match (sa, sb) {
+            (BranchStep::SetUb { var: v1, ub: d }, BranchStep::SetLb { var: v2, lb: u })
+            | (BranchStep::SetLb { var: v2, lb: u }, BranchStep::SetUb { var: v1, ub: d }) => {
+                if v1 != v2 {
+                    self.fail(format!(
+                        "node {node}: children branch on different variables x{v1} and x{v2}"
+                    ));
+                    return;
+                }
+                if *v1 >= self.em.kind.len() {
+                    self.fail(format!("node {node}: branch variable x{v1} out of range"));
+                    return;
+                }
+                if self.em.kind[*v1] == VarKind::Continuous {
+                    // floor/ceil covers the integers only; a continuous
+                    // variable would leave the open interval (d, d+1)
+                    // unsearched.
+                    self.fail(format!(
+                        "node {node}: floor/ceil branch on continuous variable x{v1}"
+                    ));
+                    return;
+                }
+                let down = Rat::from_f64(*d);
+                let up = Rat::from_f64(*u);
+                let ok = match (down, up) {
+                    (Ok(dn), Ok(up)) => {
+                        dn.is_integer()
+                            && up.is_integer()
+                            && up.sub(dn).map(|g| g == Rat::one()).unwrap_or(false)
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    self.fail(format!(
+                        "node {node}: floor/ceil split x{v1} <= {d} / x{v1} >= {u} does not partition the integers"
+                    ));
+                }
+            }
+            (
+                BranchStep::ForbidSet {
+                    group: g1,
+                    vars: f1,
+                },
+                BranchStep::ForbidSet {
+                    group: g2,
+                    vars: f2,
+                },
+            ) => {
+                if g1 != g2 {
+                    self.fail(format!(
+                        "node {node}: children split different SOS1 groups {g1} and {g2}"
+                    ));
+                    return;
+                }
+                if *g1 >= self.em.sos.len() {
+                    self.fail(format!("node {node}: unknown SOS1 group {g1}"));
+                    return;
+                }
+                let members = self.em.sos[*g1].clone();
+                for f in [f1, f2] {
+                    for v in f {
+                        if !members.contains(v) {
+                            self.fail(format!(
+                                "node {node}: forbidden variable x{v} is not a member of SOS1 group {g1}"
+                            ));
+                            return;
+                        }
+                    }
+                }
+                for &m in &members {
+                    if self.em.kind[m] == VarKind::Continuous || lb[m].signum() < 0 {
+                        self.fail(format!(
+                            "node {node}: SOS1 member x{m} is not a nonnegative integer variable here"
+                        ));
+                        return;
+                    }
+                }
+                if !self.convexity_row_ok(*g1) {
+                    self.fail(format!(
+                        "node {node}: SOS1 group {g1} has no exact `sum == 1` convexity row, so a forbid-set split is not covering"
+                    ));
+                    return;
+                }
+                // Coverage: the convexity row forces exactly one member
+                // to 1; a member that can still be 1 here must survive
+                // in at least one child.
+                for &m in &members {
+                    let available = Ext::Fin(Rat::one()).le(ub[m]).unwrap_or(true);
+                    if available && f1.contains(&m) && f2.contains(&m) {
+                        self.fail(format!(
+                            "node {node}: SOS1 member x{m} is forbidden in both children, losing feasible points"
+                        ));
+                        return;
+                    }
+                }
+            }
+            _ => {
+                self.fail(format!(
+                    "node {node}: children record mismatched branching steps"
+                ));
+            }
+        }
+    }
+
+    /// Whether SOS1 group `g` has an exact `sum of members == 1` row —
+    /// precisely the property that makes a forbid-set split covering.
+    fn convexity_row_ok(&mut self, g: usize) -> bool {
+        if let Some(v) = self.convexity_ok[g] {
+            return v;
+        }
+        let members = &self.em.sos[g];
+        let ok = self.em.rows.iter().any(|row| {
+            row.sense == ConstraintSense::Eq
+                && row.rhs == Rat::one()
+                && row.terms.len() == members.len()
+                && row
+                    .terms
+                    .iter()
+                    .all(|&(j, c)| c == Rat::one() && members.contains(&j))
+        });
+        self.convexity_ok[g] = Some(ok);
+        ok
+    }
+
+    /// Verifies the incumbent (exact integrality, feasibility within
+    /// the scaled dyadic tolerance, agreement with the claimed
+    /// objective) and returns its exact objective value.
+    fn check_incumbent(&mut self) -> Option<Rat> {
+        let cert = self.cert;
+        match cert.status {
+            Status::Optimal | Status::Feasible => {}
+            Status::Infeasible | Status::Unknown => {
+                if cert.incumbent.is_some() {
+                    self.fail(format!(
+                        "status {:?} must not carry an incumbent",
+                        cert.status
+                    ));
+                }
+                return None;
+            }
+            Status::Unbounded => return None,
+        }
+        let Some(x) = &cert.incumbent else {
+            self.fail(format!(
+                "status {:?} claimed without an incumbent",
+                cert.status
+            ));
+            return None;
+        };
+        if x.len() != self.em.lb.len() {
+            self.fail(format!(
+                "incumbent has {} coordinates, model has {} variables",
+                x.len(),
+                self.em.lb.len()
+            ));
+            return None;
+        }
+        match self.check_incumbent_exact(x) {
+            Ok(v) => v,
+            Err(Overflow) => {
+                self.fail("exact arithmetic overflowed while checking the incumbent".to_owned());
+                None
+            }
+        }
+    }
+
+    fn check_incumbent_exact(&mut self, x: &[f64]) -> Result<Option<Rat>, Overflow> {
+        let mut xr = Vec::with_capacity(x.len());
+        for (j, &xf) in x.iter().enumerate() {
+            let Ok(r) = Rat::from_f64(xf) else {
+                self.fail(format!(
+                    "incumbent coordinate x{j} ({xf}) is not exactly representable"
+                ));
+                return Ok(None);
+            };
+            xr.push(r);
+        }
+        let eps = eps_abs();
+        for (j, &xj) in xr.iter().enumerate() {
+            if self.em.kind[j] != VarKind::Continuous && !xj.is_integer() {
+                self.fail(format!(
+                    "incumbent coordinate x{j} = {xj} is not an integer"
+                ));
+            }
+            // Declared bounds within eps * (1 + |bound|).
+            let tol_l = eps.mul(Rat::one().add(self.em.lb[j].abs()?)?)?;
+            if !self.em.lb[j].sub(tol_l)?.le(xj)? {
+                self.fail(format!(
+                    "incumbent x{j} = {xj} violates its lower bound {}",
+                    self.em.lb[j]
+                ));
+            }
+            if let Ext::Fin(u) = self.em.ub[j] {
+                let tol_u = eps.mul(Rat::one().add(u.abs()?)?)?;
+                if !xj.le(u.add(tol_u)?)? {
+                    self.fail(format!(
+                        "incumbent x{j} = {xj} violates its upper bound {u}"
+                    ));
+                }
+            }
+        }
+        for (i, row) in self.em.rows.iter().enumerate() {
+            let mut act = Rat::zero();
+            let mut mag = Rat::zero();
+            for &(j, c) in &row.terms {
+                let t = c.mul(xr[j])?;
+                act = act.add(t)?;
+                mag = mag.add(t.abs()?)?;
+            }
+            let tol = eps.mul(Rat::one().add(mag)?)?;
+            let ok = match row.sense {
+                ConstraintSense::Le => act.le(row.rhs.add(tol)?)?,
+                ConstraintSense::Ge => row.rhs.sub(tol)?.le(act)?,
+                ConstraintSense::Eq => act.sub(row.rhs)?.abs()?.le(tol)?,
+            };
+            if !ok {
+                self.reasons.push(format!(
+                    "incumbent violates row {i}: exact activity {act} vs rhs {} ({:?})",
+                    row.rhs, row.sense
+                ));
+            }
+        }
+        let mut v = Rat::zero();
+        for (j, &c) in self.em.obj.iter().enumerate() {
+            v = v.add(c.mul(xr[j])?)?;
+        }
+        let Ok(claimed) = Rat::from_f64(self.cert.objective) else {
+            self.fail("claimed objective is not exactly representable".to_owned());
+            return Ok(Some(v));
+        };
+        let tol = eps.mul(Rat::one().add(v.abs()?)?)?;
+        if !v.sub(claimed)?.abs()?.le(tol)? {
+            self.reasons.push(format!(
+                "claimed objective {claimed} disagrees with the incumbent's exact objective {v}"
+            ));
+        }
+        Ok(Some(v))
+    }
+
+    /// The per-status verdict. Everything above has already pushed
+    /// reasons for structural or witness failures; this adds the
+    /// status-specific conditions.
+    fn verdict(&mut self, exact_obj: Option<Rat>) {
+        match self.cert.status {
+            Status::Optimal => {
+                let Some(v) = exact_obj else {
+                    return; // incumbent failures already recorded
+                };
+                let Ext::Fin(l) = self.global_lb else {
+                    self.fail(format!(
+                        "optimality claimed but the certified tree bound is {}",
+                        self.global_lb
+                    ));
+                    return;
+                };
+                match self.gap_ok(v, l) {
+                    Ok(true) => {}
+                    Ok(false) => self.fail(format!(
+                        "claimed optimum is not sandwiched: exact incumbent objective {v} exceeds the certified bound {l} by more than the allowed gap"
+                    )),
+                    Err(Overflow) => self.fail(
+                        "exact arithmetic overflowed while checking the optimality gap".to_owned(),
+                    ),
+                }
+            }
+            Status::Feasible => {} // incumbent checks are sufficient
+            Status::Infeasible => {
+                if self.leaves != self.infeasible_leaves {
+                    self.fail(format!(
+                        "infeasibility claimed but only {} of {} leaves are infeasible",
+                        self.infeasible_leaves, self.leaves
+                    ));
+                }
+            }
+            // Unknown claims nothing beyond the structure already
+            // checked. Unbounded carries no witness in this format and
+            // is effectively uncertified (box-bounded formulations
+            // never produce it); see DESIGN.md §9.
+            Status::Unknown | Status::Unbounded => {}
+        }
+    }
+
+    /// `V - L <= abs_gap + 2^-20 + 2^-23 * sum of finite declared
+    /// ranges` — the declared gap plus the documented allowance for the
+    /// solver's reduced-cost pricing cutoff.
+    fn gap_ok(&self, v: Rat, l: Rat) -> Result<bool, Overflow> {
+        let gap = Rat::from_f64(self.cert.abs_gap)?;
+        let mut span = Rat::zero();
+        for j in 0..self.em.lb.len() {
+            if let Ext::Fin(u) = self.em.ub[j] {
+                span = span.add(u.sub(self.em.lb[j])?)?;
+            }
+        }
+        let slack = eps_abs().add(eps_dual().mul(span)?)?;
+        v.sub(l)?.le(gap.add(slack)?)
+    }
+
+    fn finish(self) -> CheckReport {
+        CheckReport {
+            accepted: self.reasons.is_empty(),
+            reasons: self.reasons,
+            nodes_checked: self.cert.nodes.len(),
+            leaves: self.leaves,
+            downgraded_leaves: self.downgraded_leaves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm1_milp::{solve_certified, Model, SolveParams};
+
+    fn knapsack() -> Model {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.set_objective([(x, -5.0), (y, -4.0), (z, -3.0)]);
+        m.add_le([(x, 2.0), (y, 3.0), (z, 1.0)], 3.0);
+        m
+    }
+
+    #[test]
+    fn optimal_certificate_accepted() {
+        let m = knapsack();
+        let cs = solve_certified(&m, &SolveParams::default());
+        assert_eq!(cs.solution.status, Status::Optimal);
+        let report = check(&m, &cs.certificate);
+        assert!(report.accepted, "{}", report.summary());
+        assert!(report.leaves >= 1);
+    }
+
+    #[test]
+    fn perturbed_incumbent_rejected() {
+        let m = knapsack();
+        let mut cs = solve_certified(&m, &SolveParams::default());
+        let inc = cs.certificate.incumbent.as_mut().expect("incumbent");
+        inc[0] = 0.5; // binary coordinate made fractional
+        let report = check(&m, &cs.certificate);
+        assert!(!report.accepted);
+        assert!(
+            report.reasons.iter().any(|r| r.contains("not an integer")),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn perturbed_duals_rejected() {
+        let m = knapsack();
+        let mut cs = solve_certified(&m, &SolveParams::default());
+        assert_eq!(cs.solution.status, Status::Optimal);
+        // Zeroed duals are still sign-feasible, so every recomputed
+        // node bound collapses to sum_j min(c_j x_j) = -12, far below
+        // the claimed optimum of -8: the sandwich must fail.
+        let mut tampered = 0;
+        for node in &mut cs.certificate.nodes {
+            if let NodeOutcome::Bounded { duals } = &mut node.outcome {
+                duals.iter_mut().for_each(|d| *d = 0.0);
+                tampered += 1;
+            }
+        }
+        assert!(tampered > 0, "expected at least one solved node");
+        let report = check(&m, &cs.certificate);
+        assert!(!report.accepted);
+        assert!(
+            report.reasons.iter().any(|r| r.contains("not sandwiched")),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn presolve_infeasible_certificate_accepted() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_ge([(a, 1.0), (b, 1.0)], 3.0);
+        let cs = solve_certified(&m, &SolveParams::default());
+        assert_eq!(cs.solution.status, Status::Infeasible);
+        let report = check(&m, &cs.certificate);
+        assert!(report.accepted, "{}", report.summary());
+    }
+
+    #[test]
+    fn wrong_status_on_infeasible_model_rejected() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_ge([(a, 1.0), (b, 1.0)], 3.0);
+        let mut cs = solve_certified(&m, &SolveParams::default());
+        cs.certificate.status = Status::Optimal;
+        cs.certificate.incumbent = Some(vec![1.0, 1.0]);
+        cs.certificate.objective = 0.0;
+        let report = check(&m, &cs.certificate);
+        assert!(!report.accepted, "{}", report.summary());
+    }
+}

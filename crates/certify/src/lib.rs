@@ -1,0 +1,36 @@
+//! Independent exact-arithmetic checker for `vm1-milp` solve
+//! certificates.
+//!
+//! `vm1_milp::solve_certified` records a [`vm1_milp::Certificate`]
+//! alongside each branch-and-bound solve: the searched root domain, the
+//! branching tree, a weak-duality (dual) witness per solved node, a
+//! Farkas-style witness per infeasible node, and the final incumbent.
+//! This crate replays that record against the original model and
+//! accepts the claimed status only if every witness checks out —
+//! computed entirely in `i128`-backed rational arithmetic
+//! ([`rat::Rat`]), with no floating-point operation on any path that
+//! decides the verdict.
+//!
+//! The checker deliberately reuses none of the solver's LP or
+//! branch-and-bound code: a bug shared by solver and checker would
+//! otherwise be self-certifying. The only shared surface is the
+//! [`vm1_milp::Model`] accessors and the certificate types themselves.
+//!
+//! ```
+//! use vm1_milp::{Model, SolveParams};
+//!
+//! let mut m = Model::new();
+//! let x = m.add_binary("x");
+//! let y = m.add_binary("y");
+//! m.set_objective([(x, -2.0), (y, -1.0)]);
+//! m.add_le([(x, 1.0), (y, 1.0)], 1.0);
+//! let certified = vm1_milp::solve_certified(&m, &SolveParams::default());
+//! let report = vm1_certify::check(&m, &certified.certificate);
+//! assert!(report.accepted, "{}", report.summary());
+//! ```
+
+pub mod check;
+pub mod rat;
+
+pub use check::{check, CheckReport};
+pub use rat::{Ext, Overflow, Rat};

@@ -89,6 +89,13 @@ pub struct Vm1Config {
     /// distributable optimization of Han et al.): skip re-solving windows
     /// whose observable state is unchanged since a no-gain solve.
     pub smart_window_selection: bool,
+    /// Proof-carrying solves: when the MILP engine is selected, record an
+    /// optimality certificate for every window solve and verify it with
+    /// the exact-arithmetic checker (`vm1-certify`) before committing the
+    /// assignment. Rejected solves fall back to the input placement and
+    /// are counted under `cert_rejected`. No effect on the DFS/greedy
+    /// engines (see DESIGN.md §9).
+    pub certify: bool,
 }
 
 impl Vm1Config {
@@ -111,6 +118,7 @@ impl Vm1Config {
             threads: 8,
             net_weights: None,
             smart_window_selection: true,
+            certify: false,
         }
     }
 
@@ -143,6 +151,13 @@ impl Vm1Config {
     #[must_use]
     pub fn with_solver(mut self, solver: SolverKind) -> Vm1Config {
         self.solver = solver;
+        self
+    }
+
+    /// Enables or disables certified MILP solves (see [`Vm1Config::certify`]).
+    #[must_use]
+    pub fn with_certify(mut self, certify: bool) -> Vm1Config {
+        self.certify = certify;
         self
     }
 
@@ -187,8 +202,11 @@ mod tests {
         let c = Vm1Config::closedm1()
             .with_alpha(500.0)
             .with_solver(SolverKind::Milp)
+            .with_certify(true)
             .with_sequence(vec![ParamSet::new(10.0, 3, 1), ParamSet::new(20.0, 3, 0)]);
         assert_eq!(c.alpha, 500.0);
+        assert!(c.certify);
+        assert!(!Vm1Config::closedm1().certify);
         assert_eq!(c.solver, SolverKind::Milp);
         assert_eq!(c.sequence.len(), 2);
         assert_eq!(c.sequence[1].lx, 3);

@@ -11,7 +11,7 @@
 use crate::milp::{build_milp, extract_assignment, warm_start};
 use crate::problem::{End, WindowProblem};
 use crate::{SolverKind, Vm1Config};
-use vm1_milp::{solve as milp_solve, SolveParams};
+use vm1_milp::{solve as milp_solve, solve_certified, SolveParams};
 use vm1_obs::{Counter, MetricsHandle, Stage};
 
 /// Solves a window problem with the engine selected in `cfg`.
@@ -97,7 +97,27 @@ pub fn milp_window_solve_with(
         warm_start: Some(warm_start(prob, &model, &vars, &cur)),
         metrics: metrics.clone(),
     };
-    let sol = metrics.timed(Stage::MilpSolve, || milp_solve(&model, &params));
+    let sol = if cfg.certify {
+        // Proof-carrying solve: record a certificate alongside the B&B
+        // run and replay it through the independent exact-arithmetic
+        // checker. A rejected certificate means the solve cannot be
+        // trusted, so the window keeps its input placement.
+        let certified = metrics.timed(Stage::MilpSolve, || solve_certified(&model, &params));
+        metrics.incr(Counter::CertRecorded);
+        let report = metrics.timed(Stage::Certify, || {
+            vm1_certify::check(&model, &certified.certificate)
+        });
+        if report.accepted {
+            metrics.incr(Counter::CertVerified);
+        } else {
+            metrics.incr(Counter::CertRejected);
+            metrics.incr(Counter::MilpFallbacks);
+            return cur;
+        }
+        certified.solution
+    } else {
+        metrics.timed(Stage::MilpSolve, || milp_solve(&model, &params))
+    };
     if sol.has_solution() {
         extract_assignment(&vars, &sol.values)
     } else {
@@ -479,6 +499,38 @@ mod tests {
                 prob.eval(&milp)
             );
         }
+    }
+
+    #[test]
+    fn certified_milp_matches_dfs_and_records_counters() {
+        use std::sync::Arc;
+        use vm1_obs::Telemetry;
+        let prob = problem(CellArch::ClosedM1, 3, 4);
+        if prob.cells.len() < 2 {
+            return;
+        }
+        let cfg = Vm1Config::closedm1()
+            .with_solver(SolverKind::Milp)
+            .with_certify(true);
+        let sink = Arc::new(Telemetry::new());
+        let metrics = MetricsHandle::of(sink.clone());
+        let a = solve_window_with(&prob, &cfg, &metrics);
+        assert!(prob.is_legal(&a));
+        let dfs = dfs_solve(&prob, 1_000_000);
+        assert!(
+            (prob.eval(&a) - prob.eval(&dfs)).abs() < 1e-6,
+            "certified milp {} vs dfs {}",
+            prob.eval(&a),
+            prob.eval(&dfs)
+        );
+        let report = sink.report();
+        assert!(report.counter(Counter::CertRecorded) >= 1);
+        assert_eq!(
+            report.counter(Counter::CertVerified),
+            report.counter(Counter::CertRecorded),
+            "every recorded certificate must verify"
+        );
+        assert_eq!(report.counter(Counter::CertRejected), 0);
     }
 
     #[test]

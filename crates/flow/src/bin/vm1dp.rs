@@ -7,6 +7,7 @@
 //!              --solver dfs --metrics-out metrics.json --audit
 //! vm1dp report -i optimized.def --arch closedm1
 //! vm1dp audit  -i optimized.def --arch closedm1
+//! vm1dp certify -i design.def --arch closedm1 -o optimized.def
 //! ```
 //!
 //! `--metrics-out` exports the run's telemetry (solver counters, stage
@@ -26,8 +27,15 @@
 //! | 3    | placement invariant violation             |
 //! | 4    | dM1 recount disagrees with the objective  |
 //! | 5    | MILP model lint error                     |
+//! | 6    | solve certificate rejected by the checker |
 //!
 //! When several classes fail, the smallest failing code wins.
+//!
+//! `certify` runs the optimization with the MILP engine in
+//! proof-carrying mode: every window solve records a branch-and-bound
+//! certificate that the independent exact-arithmetic checker
+//! (`vm1-certify`) replays before the assignment is committed. `opt
+//! --audit --solver milp` certifies the same way as part of the audit.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -37,7 +45,7 @@ use vm1_core::{SolverKind, Vm1Config, Vm1Optimizer};
 use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
 use vm1_netlist::io::{read_def, write_def};
 use vm1_netlist::Design;
-use vm1_obs::{MetricsHandle, Telemetry};
+use vm1_obs::{Counter, MetricsHandle, Telemetry};
 use vm1_place::{greedy_refine, place, PlaceConfig, RowMap};
 use vm1_route::{route, RouterConfig};
 use vm1_tech::{CellArch, Library};
@@ -54,6 +62,7 @@ fn main() {
         "opt" => cmd_opt(&opts),
         "report" => cmd_report(&opts),
         "audit" => cmd_audit(&opts),
+        "certify" => cmd_certify(&opts),
         "--help" | "-h" => usage(""),
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -150,13 +159,17 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: vm1dp <gen|opt|report|audit> [--profile m0|aes|jpeg|vga] [--arch closedm1|openm1|conv12t]\n\
+        "usage: vm1dp <gen|opt|report|audit|certify> [--profile m0|aes|jpeg|vga] [--arch closedm1|openm1|conv12t]\n\
          \x20            [--scale F] [--seed N] [--alpha F] [--solver dfs|milp|greedy]\n\
          \x20            [-i FILE] [-o FILE] [--metrics-out FILE(.json|.csv)] [--audit]\n\
          \n\
-         audit exit codes (smallest failing class wins):\n\
+         certify optimizes with the MILP engine in proof-carrying mode: every\n\
+         window solve is replayed by the exact-arithmetic certificate checker.\n\
+         \n\
+         audit/certify exit codes (smallest failing class wins):\n\
          \x20  0 clean   1 I/O error   2 usage   3 placement violation\n\
-         \x20  4 dM1 recount mismatch   5 MILP model lint error"
+         \x20  4 dM1 recount mismatch   5 MILP model lint error\n\
+         \x20  6 solve certificate rejected"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -337,6 +350,25 @@ fn cmd_audit(opts: &Opts) {
     exit(code);
 }
 
+/// Prints the proof-carrying-solve counters and returns the structured
+/// exit code for them: 0 when every recorded certificate verified, 6
+/// when the exact-arithmetic checker rejected at least one.
+fn cert_code(report: &vm1_obs::MetricsReport) -> i32 {
+    let recorded = report.counter(Counter::CertRecorded);
+    let verified = report.counter(Counter::CertVerified);
+    let rejected = report.counter(Counter::CertRejected);
+    if recorded > 0 {
+        println!(
+            "certify: {recorded} certificates recorded, {verified} verified, {rejected} REJECTED"
+        );
+    }
+    if rejected > 0 {
+        6
+    } else {
+        0
+    }
+}
+
 fn cmd_opt(opts: &Opts) {
     let mut design = load(opts);
     let mut cfg = match opts.arch {
@@ -349,6 +381,9 @@ fn cmd_opt(opts: &Opts) {
     if let Some(kind) = opts.solver {
         cfg = cfg.with_solver(kind);
     }
+    // Under --audit, MILP window solves run in proof-carrying mode: each
+    // one is certified by vm1-certify before the assignment commits.
+    cfg = cfg.with_certify(opts.audit);
     let sink = Arc::new(Telemetry::new());
     let stats = Vm1Optimizer::new(cfg)
         .with_metrics(sink.clone())
@@ -370,12 +405,63 @@ fn cmd_opt(opts: &Opts) {
         0
     };
     let report = sink.report();
+    let cert = cert_code(&report);
     print!("{}", vm1_flow::format_metrics_summary(&report));
     write_metrics_out(&report, opts);
     save(&design, opts);
     if audit_code != 0 {
         exit(audit_code);
     }
+    if cert != 0 {
+        exit(cert);
+    }
+}
+
+/// `vm1dp certify`: optimize with the MILP engine in proof-carrying
+/// mode. Every window solve records a branch-and-bound certificate that
+/// the independent exact-arithmetic checker replays; the assignment only
+/// commits if the certificate is accepted. Exits 6 if any certificate
+/// is rejected. `-o` is optional — without it the command is a pure
+/// verification run.
+fn cmd_certify(opts: &Opts) {
+    if matches!(opts.solver, Some(k) if k != SolverKind::Milp) {
+        usage("certify requires the milp solver");
+    }
+    let mut design = load(opts);
+    let mut cfg = match opts.arch {
+        CellArch::OpenM1 => Vm1Config::openm1(),
+        _ => Vm1Config::closedm1(),
+    };
+    if !opts.alpha.is_nan() {
+        cfg = cfg.with_alpha(opts.alpha);
+    }
+    cfg = cfg.with_solver(SolverKind::Milp).with_certify(true);
+    let sink = Arc::new(Telemetry::new());
+    let stats = Vm1Optimizer::new(cfg)
+        .with_metrics(sink.clone())
+        .run(&mut design);
+    println!(
+        "objective {:.0} -> {:.0}; alignments {} -> {}; {} cells changed in {} ms",
+        stats.initial_obj,
+        stats.final_obj,
+        stats.initial_alignments,
+        stats.final_alignments,
+        stats.cells_changed,
+        stats.runtime_ms
+    );
+    let report = sink.report();
+    let cert = cert_code(&report);
+    if report.counter(Counter::CertRecorded) == 0 {
+        println!("certify: no MILP solves were required (nothing to certify)");
+    }
+    write_metrics_out(&report, opts);
+    if opts.output.is_some() {
+        save(&design, opts);
+    }
+    if cert != 0 {
+        exit(cert);
+    }
+    println!("certify clean");
 }
 
 fn cmd_report(opts: &Opts) {

@@ -59,10 +59,7 @@ use vm1_obs::{Counter, MetricsHandle, Stage};
 
 use crate::model::{ConstraintSense, Model, VarId, VarKind};
 use crate::presolve::presolve;
-
-/// Below this absolute slack a big-M coefficient counts as tight
-/// (coordinates are integer nanometres, so real looseness is ≥ 1).
-const BIGM_SLACK_TOL: f64 = 1e-6;
+use crate::tol::{BIGM_SLACK_TOL, COEFF_ZERO_TOL, UNIT_COEFF_TOL};
 
 /// Coefficient-magnitude spread (max/min over nonzero entries) beyond
 /// which the matrix is flagged as poorly conditioned for the dense
@@ -457,7 +454,7 @@ fn check_sos1(model: &Model, findings: &mut Vec<AuditFinding>) {
         members.dedup();
 
         let convexity = model.constraints.iter().any(|con| {
-            if con.sense != ConstraintSense::Eq || (con.rhs - 1.0).abs() > 1e-9 {
+            if con.sense != ConstraintSense::Eq || (con.rhs - 1.0).abs() > UNIT_COEFF_TOL {
                 return false;
             }
             // Sum repeated terms, then require coefficient 1 on exactly
@@ -469,14 +466,14 @@ fn check_sos1(model: &Model, findings: &mut Vec<AuditFinding>) {
                     None => sums.push((v.index(), c)),
                 }
             }
-            sums.retain(|&(_, c)| c.abs() > 1e-12);
+            sums.retain(|&(_, c)| c.abs() > COEFF_ZERO_TOL);
             if sums.len() != members.len() {
                 return false;
             }
             sums.sort_unstable_by_key(|&(j, _)| j);
             sums.iter()
                 .zip(&members)
-                .all(|(&(j, c), &m)| j == m && (c - 1.0).abs() <= 1e-9)
+                .all(|(&(j, c), &m)| j == m && (c - 1.0).abs() <= UNIT_COEFF_TOL)
         });
         if !convexity {
             findings.push(AuditFinding {

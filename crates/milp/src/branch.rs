@@ -14,13 +14,13 @@
 //! also supply a warm-start assignment (the current placement, which is
 //! always feasible).
 
+use crate::cert::{BranchStep, CertNode, Certificate, NodeOutcome};
 use crate::lp::{solve_lp, LpStatus};
 use crate::model::{Model, VarId, VarKind};
 use crate::presolve::presolve;
+use crate::tol::{DEFAULT_ABS_GAP, FEASIBILITY_TOL, INT_TOL};
 use std::time::Instant;
 use vm1_obs::{Counter, MetricsHandle};
-
-const INT_TOL: f64 = 1e-6;
 
 /// Outcome class of a MILP solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,7 +103,7 @@ impl Default for SolveParams {
         SolveParams {
             max_nodes: 100_000,
             time_limit_ms: 60_000,
-            abs_gap: 1e-6,
+            abs_gap: DEFAULT_ABS_GAP,
             warm_start: None,
             metrics: MetricsHandle::disabled(),
         }
@@ -115,12 +115,89 @@ pub fn solve(model: &Model, params: &SolveParams) -> MilpSolution {
     Solver::new(model, params.clone()).run()
 }
 
+/// A solve result together with its replayable [`Certificate`].
+#[derive(Clone, Debug)]
+#[must_use = "a certified solve must have its certificate checked"]
+pub struct CertifiedSolution {
+    /// The usual solve result.
+    pub solution: MilpSolution,
+    /// The recorded search trace for independent verification.
+    pub certificate: Certificate,
+}
+
+/// Like [`solve`], but records a [`Certificate`] of the search that an
+/// independent checker (the `vm1-certify` crate) can verify in exact
+/// arithmetic.
+pub fn solve_certified(model: &Model, params: &SolveParams) -> CertifiedSolution {
+    let mut solver = Solver::new(model, params.clone());
+    solver.cert = Some(CertRecorder::default());
+    let solution = solver.run_inner();
+    let rec = solver.cert.take().unwrap_or_default();
+    // Integer coordinates of the incumbent are integral only up to the
+    // solver's tolerance; the certificate records them rounded so the
+    // checker can demand *exact* integrality.
+    let incumbent = if solution.has_solution() {
+        let mut vals = solution.values.clone();
+        for v in model.integer_vars() {
+            vals[v.index()] = vals[v.index()].round();
+        }
+        Some(vals)
+    } else {
+        None
+    };
+    let certificate = Certificate {
+        status: solution.status,
+        objective: solution.objective,
+        best_bound: solution.best_bound,
+        abs_gap: solver.params.abs_gap,
+        incumbent,
+        root_lb: rec.root_lb,
+        root_ub: rec.root_ub,
+        nodes: rec.nodes,
+    };
+    CertifiedSolution {
+        solution,
+        certificate,
+    }
+}
+
+/// Index meaning "certificate recording disabled" for [`Node::cert_id`].
+const NO_CERT: usize = usize::MAX;
+
+/// Accumulates the certificate while the search runs.
+#[derive(Default)]
+struct CertRecorder {
+    nodes: Vec<CertNode>,
+    root_lb: Vec<f64>,
+    root_ub: Vec<f64>,
+}
+
+impl CertRecorder {
+    fn push(&mut self, parent: Option<usize>, step: Option<BranchStep>) -> usize {
+        self.nodes.push(CertNode {
+            parent,
+            step,
+            outcome: NodeOutcome::Open,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn set_outcome(&mut self, id: usize, outcome: NodeOutcome) {
+        if let Some(n) = self.nodes.get_mut(id) {
+            n.outcome = outcome;
+        }
+    }
+}
+
 struct Node {
     lb: Vec<f64>,
     ub: Vec<f64>,
     /// LP bound inherited from the parent (for pruning before solving).
     parent_bound: f64,
     depth: usize,
+    /// Index of this node in the certificate recorder ([`NO_CERT`] when
+    /// recording is disabled).
+    cert_id: usize,
 }
 
 /// Branch-and-bound engine. Most callers should use [`solve`]; the struct
@@ -136,6 +213,7 @@ pub struct Solver<'a> {
     nodes_pruned: usize,
     lp_solves: usize,
     pivots: u64,
+    cert: Option<CertRecorder>,
 }
 
 impl<'a> Solver<'a> {
@@ -152,15 +230,20 @@ impl<'a> Solver<'a> {
             nodes_pruned: 0,
             lp_solves: 0,
             pivots: 0,
+            cert: None,
         }
     }
 
     /// Runs branch and bound to completion or to a limit.
     pub fn run(mut self) -> MilpSolution {
+        self.run_inner()
+    }
+
+    fn run_inner(&mut self) -> MilpSolution {
         let start = Instant::now();
 
         if let Some(ws) = self.params.warm_start.take() {
-            if self.model.is_feasible(&ws, 1e-6) {
+            if self.model.is_feasible(&ws, FEASIBILITY_TOL) {
                 self.incumbent_obj = self.model.objective_value(&ws);
                 self.incumbent = Some(ws);
             }
@@ -171,6 +254,14 @@ impl<'a> Solver<'a> {
         let pre_tightenings = pre.tightenings;
         let pre_redundant = pre.redundant.iter().filter(|&&r| r).count();
         if pre.infeasible {
+            if let Some(rec) = &mut self.cert {
+                // Record a lone root whose infeasibility the checker
+                // re-derives from its own exact presolve replay.
+                rec.root_lb = pre.lb.clone();
+                rec.root_ub = pre.ub.clone();
+                let id = rec.push(None, None);
+                rec.set_outcome(id, NodeOutcome::Infeasible { farkas: Vec::new() });
+            }
             self.emit_metrics(pre_tightenings, pre_redundant);
             return MilpSolution {
                 // A feasible warm start contradicts presolve-infeasible;
@@ -182,7 +273,7 @@ impl<'a> Solver<'a> {
                     Status::Infeasible
                 },
                 objective: self.incumbent_obj,
-                values: self.incumbent.unwrap_or_default(),
+                values: self.incumbent.take().unwrap_or_default(),
                 best_bound: f64::INFINITY,
                 nodes: 0,
                 nodes_pruned: 0,
@@ -192,11 +283,20 @@ impl<'a> Solver<'a> {
         }
         let root_lb: Vec<f64> = pre.lb;
         let root_ub: Vec<f64> = pre.ub;
+        let root_cert = match &mut self.cert {
+            Some(rec) => {
+                rec.root_lb = root_lb.clone();
+                rec.root_ub = root_ub.clone();
+                rec.push(None, None)
+            }
+            None => NO_CERT,
+        };
         let mut stack = vec![Node {
             lb: root_lb,
             ub: root_ub,
             parent_bound: f64::NEG_INFINITY,
             depth: 0,
+            cert_id: root_cert,
         }];
         // Tracks the minimum LP bound over open nodes for `best_bound`.
         let mut saw_limit = false;
@@ -215,11 +315,19 @@ impl<'a> Solver<'a> {
             }
             self.nodes += 1;
 
-            let lp = self.solve_node_lp(&node.lb, &node.ub);
+            let mut lp = self.solve_node_lp(&node.lb, &node.ub);
             match lp.status {
                 LpStatus::Infeasible => {
                     if node.depth == 0 {
                         root_status = Some(Status::Infeasible);
+                    }
+                    if let Some(rec) = &mut self.cert {
+                        rec.set_outcome(
+                            node.cert_id,
+                            NodeOutcome::Infeasible {
+                                farkas: std::mem::take(&mut lp.farkas),
+                            },
+                        );
                     }
                     self.nodes_pruned += 1;
                     continue;
@@ -237,7 +345,16 @@ impl<'a> Solver<'a> {
                     saw_limit = true;
                     continue;
                 }
-                LpStatus::Optimal => {}
+                LpStatus::Optimal => {
+                    if let Some(rec) = &mut self.cert {
+                        rec.set_outcome(
+                            node.cert_id,
+                            NodeOutcome::Bounded {
+                                duals: std::mem::take(&mut lp.duals),
+                            },
+                        );
+                    }
+                }
             }
             if node.depth == 0 {
                 self.best_bound = lp.objective;
@@ -286,7 +403,7 @@ impl<'a> Solver<'a> {
         MilpSolution {
             status,
             objective: self.incumbent_obj,
-            values: self.incumbent.unwrap_or_default(),
+            values: self.incumbent.take().unwrap_or_default(),
             best_bound: if status == Status::Optimal {
                 self.incumbent_obj
             } else {
@@ -366,11 +483,20 @@ impl<'a> Solver<'a> {
         }
         let lp = self.solve_node_lp(&flb, &fub);
         if lp.status == LpStatus::Optimal
-            && self.model.is_feasible(&lp.values, 1e-6)
+            && self.model.is_feasible(&lp.values, FEASIBILITY_TOL)
             && lp.objective < self.incumbent_obj
         {
             self.incumbent_obj = lp.objective;
             self.incumbent = Some(lp.values);
+        }
+    }
+
+    /// Records a child node in the certificate (no-op when recording is
+    /// disabled) and returns its certificate index.
+    fn cert_child(&mut self, parent: usize, step: BranchStep) -> usize {
+        match &mut self.cert {
+            Some(rec) => rec.push(Some(parent), Some(step)),
+            None => NO_CERT,
         }
     }
 
@@ -384,7 +510,13 @@ impl<'a> Solver<'a> {
     ) {
         // SOS1 branching: if the fractional variable belongs to a group with
         // several active members, split the group by LP weight.
-        if let Some(group) = self.model.sos1.iter().find(|g| g.contains(&frac_var)) {
+        if let Some((gi, group)) = self
+            .model
+            .sos1
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.contains(&frac_var))
+        {
             let mut active: Vec<VarId> = group
                 .iter()
                 .copied()
@@ -398,24 +530,40 @@ impl<'a> Solver<'a> {
                 });
                 let half = active.len().div_ceil(2);
                 let (heavy, light) = active.split_at(half);
+                let forbid_light: Vec<usize> = light.iter().map(|v| v.index()).collect();
+                let forbid_heavy: Vec<usize> = heavy.iter().map(|v| v.index()).collect();
 
                 let mut child_a = Node {
                     lb: node.lb.clone(),
                     ub: node.ub.clone(),
                     parent_bound: bound,
                     depth: node.depth + 1,
+                    cert_id: self.cert_child(
+                        node.cert_id,
+                        BranchStep::ForbidSet {
+                            group: gi,
+                            vars: forbid_light.clone(),
+                        },
+                    ),
                 };
-                for v in light {
-                    child_a.ub[v.index()] = 0.0;
+                for v in &forbid_light {
+                    child_a.ub[*v] = 0.0;
                 }
                 let mut child_b = Node {
                     lb: node.lb,
                     ub: node.ub,
                     parent_bound: bound,
                     depth: node.depth + 1,
+                    cert_id: self.cert_child(
+                        node.cert_id,
+                        BranchStep::ForbidSet {
+                            group: gi,
+                            vars: forbid_heavy.clone(),
+                        },
+                    ),
                 };
-                for v in heavy {
-                    child_b.ub[v.index()] = 0.0;
+                for v in &forbid_heavy {
+                    child_b.ub[*v] = 0.0;
                 }
                 // DFS explores the heavy half first (pushed last).
                 stack.push(child_b);
@@ -431,6 +579,13 @@ impl<'a> Solver<'a> {
             ub: node.ub.clone(),
             parent_bound: bound,
             depth: node.depth + 1,
+            cert_id: self.cert_child(
+                node.cert_id,
+                BranchStep::SetUb {
+                    var: frac_var.index(),
+                    ub: x.floor(),
+                },
+            ),
         };
         down.ub[frac_var.index()] = x.floor();
         let mut up = Node {
@@ -438,6 +593,13 @@ impl<'a> Solver<'a> {
             ub: node.ub,
             parent_bound: bound,
             depth: node.depth + 1,
+            cert_id: self.cert_child(
+                node.cert_id,
+                BranchStep::SetLb {
+                    var: frac_var.index(),
+                    lb: x.ceil(),
+                },
+            ),
         };
         up.lb[frac_var.index()] = x.ceil();
         // Explore the side closer to the LP value first.
@@ -463,7 +625,9 @@ mod tests {
     use crate::model::Model;
 
     fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+        // Relative comparison: window objectives reach 1e9, where an
+        // absolute 1e-5 test would be meaninglessly strict.
+        assert!(crate::tol::approx_eq_rel(a, b, 1e-6), "{a} != {b}");
     }
 
     #[test]

@@ -39,10 +39,15 @@
 
 pub mod audit;
 mod branch;
+pub mod cert;
 pub mod lp;
 mod model;
 mod presolve;
+pub mod tol;
 
 pub use audit::{AuditFinding, AuditKind, AuditReport, AuditSeverity, BigMFix};
-pub use branch::{solve, MilpSolution, SolveParams, Solver, Status};
+pub use branch::{
+    solve, solve_certified, CertifiedSolution, MilpSolution, SolveParams, Solver, Status,
+};
+pub use cert::{BranchStep, CertNode, Certificate, NodeOutcome};
 pub use model::{ConstraintSense, LinExpr, Model, VarId, VarKind};

@@ -13,6 +13,10 @@
 // row index; zipped iterators would obscure the linear algebra.
 #![allow(clippy::needless_range_loop)]
 use crate::model::{ConstraintSense, Model};
+use crate::tol::{
+    COST_TOL, FEAS_TOL, PHASE1_INFEAS_TOL, PIVOT_MIN, PIVOT_SKIP_TOL, RATIO_TIE_TOL,
+    STALL_IMPROVE_TOL,
+};
 
 /// Outcome class of an LP solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,13 +40,36 @@ pub struct LpResult {
     pub objective: f64,
     /// Values of the model's structural variables (empty unless `Optimal`).
     pub values: Vec<f64>,
+    /// Row duals at the optimal basis, one per original model constraint
+    /// (empty unless `Optimal`). Sign convention of the original row
+    /// orientation: `<= 0` on `Le` rows, `>= 0` on `Ge` rows, free on `Eq`
+    /// rows (up to [`crate::tol::COST_TOL`] drift). Any such vector is a
+    /// weak-duality witness: `y·b + Σ_j min(d_j·l_j, d_j·u_j)` with reduced
+    /// costs `d = c − yᵀA` lower-bounds the LP optimum.
+    pub duals: Vec<f64>,
+    /// Farkas-style infeasibility witness, one entry per original model
+    /// constraint (empty unless `Infeasible` was proven by phase 1). Same
+    /// sign convention as `duals`; evaluating the weak-duality bound with a
+    /// zero objective yields a strictly positive value, contradicting
+    /// feasibility.
+    pub farkas: Vec<f64>,
     /// Simplex pivots performed over both phases (basis changes and bound
     /// flips).
     pub pivots: u64,
 }
 
-const FEAS_TOL: f64 = 1e-7;
-const COST_TOL: f64 = 1e-7;
+impl LpResult {
+    fn of(status: LpStatus, objective: f64, pivots: u64) -> LpResult {
+        LpResult {
+            status,
+            objective,
+            values: Vec::new(),
+            duals: Vec::new(),
+            farkas: Vec::new(),
+            pivots,
+        }
+    }
+}
 
 /// Solves the LP relaxation of `model` (integrality dropped).
 ///
@@ -71,12 +98,10 @@ pub fn solve_lp(model: &Model, bounds: Option<(&[f64], &[f64])>) -> LpResult {
     for (i, &l) in lb_s.iter().enumerate() {
         assert!(l.is_finite(), "variable {i} has non-finite lower bound");
         if l > ub_s[i] + FEAS_TOL {
-            return LpResult {
-                status: LpStatus::Infeasible,
-                objective: f64::INFINITY,
-                values: Vec::new(),
-                pivots: 0,
-            };
+            // Bound contradiction: infeasible with no Farkas row witness
+            // (the certificate checker validates this case from the bound
+            // vectors directly).
+            return LpResult::of(LpStatus::Infeasible, f64::INFINITY, 0);
         }
     }
 
@@ -103,6 +128,9 @@ struct Simplex {
     basis: Vec<usize>,
     binv: Vec<Vec<f64>>,
     cost: Vec<f64>, // phase-2 (real) cost
+    /// Per-row orientation applied during normalization (−1 where a `Ge`
+    /// row was negated to `Le`); maps duals back to the original rows.
+    flip: Vec<f64>,
     n_artificial: usize,
     pivots: u64,
 }
@@ -117,6 +145,7 @@ impl Simplex {
         let mut ub = ub_s.to_vec();
         let mut cost = model.objective.clone();
         let mut rhs = vec![0.0; m];
+        let mut flips = vec![1.0; m];
 
         for (i, con) in model.constraints.iter().enumerate() {
             // Normalize Ge to Le by negation so every slack is >= 0.
@@ -125,6 +154,7 @@ impl Simplex {
             } else {
                 1.0
             };
+            flips[i] = flip;
             rhs[i] = con.rhs * flip;
             // Merge duplicate terms while scattering into columns.
             for &(v, c) in &con.expr.terms {
@@ -227,9 +257,29 @@ impl Simplex {
             basis,
             binv,
             cost,
+            flip: flips,
             n_artificial,
             pivots: 0,
         }
+    }
+
+    /// Row duals `y = c_B' B^{-1}` of the current basis under `cost`,
+    /// mapped back to the original row orientation.
+    fn row_duals(&self, cost: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (k, &bvar) in self.basis.iter().enumerate() {
+            let cb = cost[bvar];
+            if cb != 0.0 {
+                let row = &self.binv[k];
+                for i in 0..self.m {
+                    y[i] += cb * row[i];
+                }
+            }
+        }
+        for (i, v) in y.iter_mut().enumerate() {
+            *v *= self.flip[i];
+        }
+        y
     }
 
     fn run(&mut self) -> LpResult {
@@ -243,24 +293,19 @@ impl Simplex {
                 InnerStatus::Optimal => {}
                 InnerStatus::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
                 InnerStatus::IterLimit => {
-                    return LpResult {
-                        status: LpStatus::IterLimit,
-                        objective: f64::NAN,
-                        values: Vec::new(),
-                        pivots: self.pivots,
-                    }
+                    return LpResult::of(LpStatus::IterLimit, f64::NAN, self.pivots);
                 }
             }
             let infeas: f64 = ((self.n - self.n_artificial)..self.n)
                 .map(|j| self.x[j])
                 .sum();
-            if infeas > 1e-6 {
-                return LpResult {
-                    status: LpStatus::Infeasible,
-                    objective: f64::INFINITY,
-                    values: Vec::new(),
-                    pivots: self.pivots,
-                };
+            if infeas > PHASE1_INFEAS_TOL {
+                // The phase-1 dual at its optimum is a Farkas witness for
+                // the original rows: with a zero objective its weak-duality
+                // bound equals the (positive) residual infeasibility.
+                let mut out = LpResult::of(LpStatus::Infeasible, f64::INFINITY, self.pivots);
+                out.farkas = self.row_duals(&c1);
+                return out;
             }
             // Pin artificials to zero for phase 2.
             for j in (self.n - self.n_artificial)..self.n {
@@ -279,16 +324,12 @@ impl Simplex {
             InnerStatus::IterLimit => LpStatus::IterLimit,
         };
         if status != LpStatus::Optimal {
-            return LpResult {
-                status,
-                objective: if status == LpStatus::Unbounded {
-                    f64::NEG_INFINITY
-                } else {
-                    f64::NAN
-                },
-                values: Vec::new(),
-                pivots: self.pivots,
+            let objective = if status == LpStatus::Unbounded {
+                f64::NEG_INFINITY
+            } else {
+                f64::NAN
             };
+            return LpResult::of(status, objective, self.pivots);
         }
         let values: Vec<f64> = self.x[..self.n_struct].to_vec();
         let objective = values
@@ -296,12 +337,10 @@ impl Simplex {
             .zip(&self.cost[..self.n_struct])
             .map(|(x, c)| x * c)
             .sum();
-        LpResult {
-            status: LpStatus::Optimal,
-            objective,
-            values,
-            pivots: self.pivots,
-        }
+        let mut out = LpResult::of(LpStatus::Optimal, objective, self.pivots);
+        out.values = values;
+        out.duals = self.row_duals(&c2);
+        out
     }
 
     /// Primal simplex inner loop for a given cost vector.
@@ -390,7 +429,7 @@ impl Simplex {
                 };
                 // Strictly smaller ratio wins; on ties prefer the larger
                 // |pivot| for numerical stability.
-                if t < t_best - 1e-12 || (t < t_best + 1e-12 && g.abs() > leave_g) {
+                if t < t_best - RATIO_TIE_TOL || (t < t_best + RATIO_TIE_TOL && g.abs() > leave_g) {
                     t_best = t.max(0.0);
                     leave = Some((k, hit));
                     leave_g = g.abs();
@@ -433,13 +472,13 @@ impl Simplex {
                     self.stat[j] = VStat::Basic;
                     // Pivot the inverse on w_r.
                     let piv = w[r];
-                    debug_assert!(piv.abs() > 1e-12, "pivot too small: {piv}");
+                    debug_assert!(piv.abs() > PIVOT_MIN, "pivot too small: {piv}");
                     let inv_piv = 1.0 / piv;
                     for i in 0..self.m {
                         self.binv[r][i] *= inv_piv;
                     }
                     for k in 0..self.m {
-                        if k != r && w[k].abs() > 1e-13 {
+                        if k != r && w[k].abs() > PIVOT_SKIP_TOL {
                             let f = w[k];
                             for i in 0..self.m {
                                 self.binv[k][i] -= f * self.binv[r][i];
@@ -452,7 +491,7 @@ impl Simplex {
             // Cycling watchdog: if the objective stops improving, switch to
             // Bland's rule, which guarantees termination.
             let obj: f64 = (0..self.n).map(|v| cost[v] * self.x[v]).sum();
-            if obj < last_obj - 1e-10 {
+            if obj < last_obj - STALL_IMPROVE_TOL {
                 stall = 0;
                 bland = false;
             } else {

@@ -255,6 +255,81 @@ impl Model {
         self.constraints.len()
     }
 
+    /// Handle to the `i`-th variable (the inverse of [`VarId::index`]),
+    /// for callers that iterate variables positionally — e.g. the
+    /// certificate checker walking a recorded bound vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a variable index of this model.
+    #[must_use]
+    pub fn var_id(&self, i: usize) -> VarId {
+        assert!(i < self.vars.len(), "no variable with index {i}");
+        VarId(i)
+    }
+
+    /// Integrality class of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    #[must_use]
+    pub fn var_kind(&self, var: VarId) -> VarKind {
+        self.vars[var.0].kind
+    }
+
+    /// Declared `(lower, upper)` bounds of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    #[must_use]
+    pub fn var_bounds(&self, var: VarId) -> (f64, f64) {
+        (self.vars[var.0].lb, self.vars[var.0].ub)
+    }
+
+    /// Terms of constraint `i` as given (duplicates not merged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn constraint_terms(&self, i: usize) -> &[(VarId, f64)] {
+        &self.constraints[i].expr.terms
+    }
+
+    /// Sense of constraint `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn constraint_sense(&self, i: usize) -> ConstraintSense {
+        self.constraints[i].sense
+    }
+
+    /// Right-hand side of constraint `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn constraint_rhs(&self, i: usize) -> f64 {
+        self.constraints[i].rhs
+    }
+
+    /// The minimized objective as one coefficient per variable.
+    #[must_use]
+    pub fn objective_coeffs(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The declared SOS1 groups, in declaration order.
+    #[must_use]
+    pub fn sos1_groups(&self) -> &[Vec<VarId>] {
+        &self.sos1
+    }
+
     /// Ids of all integer-constrained (binary or integer) variables.
     pub(crate) fn integer_vars(&self) -> Vec<VarId> {
         self.vars

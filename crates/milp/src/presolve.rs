@@ -15,8 +15,7 @@
 //! full solver (presolve included) against exhaustive enumeration.
 
 use crate::model::{ConstraintSense, Model, VarKind};
-
-const TOL: f64 = 1e-9;
+use crate::tol::{ACTIVITY_INFEAS_TOL, INT_ROUND_FUDGE, PRESOLVE_TOL as TOL};
 
 /// Result of [`presolve`].
 #[derive(Clone, Debug)]
@@ -67,7 +66,7 @@ pub(crate) fn presolve(model: &Model) -> Presolved {
                     max_act += c * l;
                 }
             }
-            if min_act > hi_rhs + 1e-7 || max_act < lo_rhs - 1e-7 {
+            if min_act > hi_rhs + ACTIVITY_INFEAS_TOL || max_act < lo_rhs - ACTIVITY_INFEAS_TOL {
                 return Presolved {
                     lb,
                     ub,
@@ -136,7 +135,7 @@ pub(crate) fn presolve(model: &Model) -> Presolved {
                         }
                     }
                 }
-                if lb[j] > ub[j] + 1e-7 {
+                if lb[j] > ub[j] + ACTIVITY_INFEAS_TOL {
                     return Presolved {
                         lb,
                         ub,
@@ -165,7 +164,7 @@ fn round_down(model: &Model, j: usize, v: f64) -> f64 {
     if model.vars[j].kind == VarKind::Continuous {
         v
     } else {
-        (v + 1e-7).floor()
+        (v + INT_ROUND_FUDGE).floor()
     }
 }
 
@@ -173,7 +172,7 @@ fn round_up(model: &Model, j: usize, v: f64) -> f64 {
     if model.vars[j].kind == VarKind::Continuous {
         v
     } else {
-        (v - 1e-7).ceil()
+        (v - INT_ROUND_FUDGE).ceil()
     }
 }
 

@@ -5,9 +5,14 @@
 //! feasibility directly, and compare the optimum to the solver's answer.
 //! A mismatch in either direction (missed optimum or claimed-feasible
 //! infeasibility) fails the test.
+//!
+//! Every solve runs through `solve_certified`, and the recorded
+//! certificate must be accepted by the independent exact-arithmetic
+//! checker (`vm1-certify`) — so each random model also exercises the
+//! full proof-carrying path.
 
 use proptest::prelude::*;
-use vm1_milp::{solve, Model, SolveParams, Status, VarId};
+use vm1_milp::{solve_certified, Model, SolveParams, Status, VarId};
 
 /// A randomly parameterized pure-binary program.
 #[derive(Debug, Clone)]
@@ -81,7 +86,10 @@ proptest! {
     fn solver_matches_brute_force(bip in bip_strategy()) {
         let (model, _) = build_model(&bip);
         let expected = brute_force(&bip);
-        let sol = solve(&model, &SolveParams::default());
+        let certified = solve_certified(&model, &SolveParams::default());
+        let report = vm1_certify::check(&model, &certified.certificate);
+        prop_assert!(report.accepted, "{}", report.summary());
+        let sol = certified.solution;
         match expected {
             None => prop_assert_eq!(sol.status, Status::Infeasible),
             Some(opt) => {
@@ -131,7 +139,10 @@ proptest! {
             expected = Some(expected.map_or(o, |e: f64| e.min(o)));
         }
 
-        let sol = solve(&m, &SolveParams::default());
+        let certified = solve_certified(&m, &SolveParams::default());
+        let report = vm1_certify::check(&m, &certified.certificate);
+        prop_assert!(report.accepted, "{}", report.summary());
+        let sol = certified.solution;
         match expected {
             None => prop_assert_eq!(sol.status, Status::Infeasible),
             Some(opt) => {

@@ -103,11 +103,19 @@ pub enum Counter {
     AuditPlacementChecks,
     /// Placement invariant violations found by checkpoint runs.
     AuditPlacementViolations,
+    /// Branch-and-bound solves that recorded an optimality/infeasibility
+    /// certificate (`vm1_milp::solve_certified`).
+    CertRecorded,
+    /// Certificates accepted by the exact-arithmetic checker
+    /// (`vm1-certify`).
+    CertVerified,
+    /// Certificates rejected by the exact-arithmetic checker.
+    CertRejected,
 }
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::BbNodes,
         Counter::BbNodesPruned,
         Counter::LpSolves,
@@ -131,6 +139,9 @@ impl Counter {
         Counter::AuditBigMTightened,
         Counter::AuditPlacementChecks,
         Counter::AuditPlacementViolations,
+        Counter::CertRecorded,
+        Counter::CertVerified,
+        Counter::CertRejected,
     ];
 
     /// Stable snake_case name used as the JSON/CSV key.
@@ -160,6 +171,9 @@ impl Counter {
             Counter::AuditBigMTightened => "audit_bigm_tightened",
             Counter::AuditPlacementChecks => "audit_placement_checks",
             Counter::AuditPlacementViolations => "audit_placement_violations",
+            Counter::CertRecorded => "cert_recorded",
+            Counter::CertVerified => "cert_verified",
+            Counter::CertRejected => "cert_rejected",
         }
     }
 }
@@ -195,11 +209,14 @@ pub enum Stage {
     /// Static audits: MILP model lint and placement invariant
     /// verification (checkpoints and explicit `--audit` runs).
     Audit,
+    /// Exact-arithmetic certificate verification (`vm1-certify` replay
+    /// of recorded branch-and-bound certificates).
+    Certify,
 }
 
 impl Stage {
     /// Every stage, in discriminant order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Vm1Opt,
         Stage::Perturb,
         Stage::Flip,
@@ -210,6 +227,7 @@ impl Stage {
         Stage::Route,
         Stage::Analysis,
         Stage::Audit,
+        Stage::Certify,
     ];
 
     /// Stable snake_case name used as the JSON/CSV key.
@@ -226,6 +244,7 @@ impl Stage {
             Stage::Route => "route",
             Stage::Analysis => "analysis",
             Stage::Audit => "audit",
+            Stage::Certify => "certify",
         }
     }
 }

@@ -38,4 +38,15 @@ cargo run --release -q -p vm1-flow --bin vm1dp -- \
 cargo run --release -q -p vm1-flow --bin vm1dp -- \
     audit -i "$smoke_dir/smoke_opt.def"
 
+echo "== certify: proof-carrying MILP solves on a generated micro design =="
+# Under --audit every branch-and-bound window solve records an
+# optimality certificate that the exact-rational checker (vm1-certify)
+# must accept; a rejected certificate exits 6. MILP solves are ~100x
+# slower than DFS, so this stage uses a dedicated micro design rather
+# than the audit smoke above.
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    gen --profile m0 --scale 0.002 --seed 7 -o "$smoke_dir/micro.def"
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    opt --audit --solver milp -i "$smoke_dir/micro.def" -o "$smoke_dir/micro_opt.def"
+
 echo "CI OK"
