@@ -1,0 +1,38 @@
+//! Scheduler comparison: one `DistOpt` pass under the persistent worker
+//! pool with static-chunk vs work-stealing scheduling, at 1/2/8 threads.
+//!
+//! The placements and counters are bit-identical across every
+//! configuration (see `vm1_core::sched`); only wall-clock differs. The
+//! checked-in `BENCH_distopt_sched.json` artifact is produced by the
+//! `bench_distopt_sched` binary, which runs this same comparison with
+//! plain `Instant` timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vm1_bench::sched_bench::{bench_design, bench_params, pass_once};
+use vm1_core::SchedPolicy;
+
+fn bench_distopt_sched(c: &mut Criterion) {
+    let base = bench_design(5000);
+    let p = bench_params(&base);
+    let mut g = c.benchmark_group("distopt_sched");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    for threads in [1usize, 2, 8] {
+        for (name, sched) in [
+            ("static", SchedPolicy::StaticChunk),
+            ("worksteal", SchedPolicy::WorkSteal),
+        ] {
+            g.bench_function(format!("{name}_{threads}t"), |b| {
+                b.iter(|| {
+                    let mut d = base.clone();
+                    black_box(pass_once(&mut d, &p, threads, sched))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(sched, bench_distopt_sched);
+criterion_main!(sched);

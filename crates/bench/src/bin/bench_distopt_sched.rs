@@ -1,0 +1,125 @@
+//! Produces `BENCH_distopt_sched.json`: wall-clock of one `DistOpt` pass
+//! under the persistent worker pool with static-chunk vs work-stealing
+//! scheduling at 1/2/8 threads, on a ~5k-instance design.
+//!
+//! Every configuration produces a bit-identical placement (asserted via
+//! digest); only wall-clock and the scheduler gauges differ. The JSON
+//! records the minimum per-pass time of `--iters` runs per configuration
+//! plus the 8-thread work-stealing speedup over static chunking.
+//!
+//! ```text
+//! cargo run --release -p vm1-bench --bin bench_distopt_sched -- \
+//!     [--insts N] [--iters K] [--out FILE]
+//! ```
+
+use std::time::Instant;
+use vm1_bench::sched_bench::{bench_design, bench_params, placement_digest, SchedSession};
+use vm1_core::SchedPolicy;
+
+fn main() {
+    let mut insts = 5000usize;
+    let mut iters = 3usize;
+    let mut out = String::from("BENCH_distopt_sched.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> &String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--insts" => insts = val("--insts").parse().expect("bad --insts"),
+            "--iters" => iters = val("--iters").parse().expect("bad --iters"),
+            "--out" => out = val("--out").clone(),
+            other => {
+                eprintln!("usage: bench_distopt_sched [--insts N] [--iters K] [--out FILE]");
+                eprintln!("error: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("generating {insts}-instance benchmark design...");
+    let base = bench_design(insts);
+    let p = bench_params(&base);
+
+    let configs = [
+        ("static", SchedPolicy::StaticChunk, 1usize),
+        ("worksteal", SchedPolicy::WorkSteal, 1),
+        ("static", SchedPolicy::StaticChunk, 2),
+        ("worksteal", SchedPolicy::WorkSteal, 2),
+        ("static", SchedPolicy::StaticChunk, 8),
+        ("worksteal", SchedPolicy::WorkSteal, 8),
+    ];
+
+    let mut results = Vec::new();
+    let mut digest: Option<u64> = None;
+    for (name, sched, threads) in configs {
+        let mut session = SchedSession::new(threads, sched);
+        // Warmup: populates allocator/page-cache state and spawns the
+        // pool before anything is timed.
+        let mut warm = base.clone();
+        let _ = session.pass(&mut warm, &p);
+        let d0 = placement_digest(&warm);
+        match digest {
+            None => digest = Some(d0),
+            Some(want) => assert_eq!(d0, want, "{name}_{threads}t produced a different placement"),
+        }
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..iters {
+            let mut d = base.clone();
+            let t0 = Instant::now();
+            let _ = session.pass(&mut d, &p);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            best_ms = best_ms.min(ms);
+        }
+        eprintln!("{name:>9} {threads}t: {best_ms:8.1} ms/pass (best of {iters})");
+        results.push((name, threads, best_ms));
+    }
+
+    let ms_of = |name: &str, threads: usize| -> f64 {
+        results
+            .iter()
+            .find(|(n, t, _)| *n == name && *t == threads)
+            .map(|&(_, _, ms)| ms)
+            .expect("config ran")
+    };
+    let speedup_8t = ms_of("static", 8) / ms_of("worksteal", 8);
+    let scaling_ws = ms_of("worksteal", 1) / ms_of("worksteal", 8);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"distopt_sched\",\n");
+    json.push_str(&format!(
+        "  \"design\": {{\"profile\": \"aes\", \"insts\": {}, \"rows\": {}, \"sites_per_row\": {}}},\n",
+        base.num_insts(),
+        base.num_rows,
+        base.sites_per_row
+    ));
+    json.push_str(&format!(
+        "  \"params\": {{\"bw_sites\": {}, \"bh_rows\": {}, \"lx\": {}, \"ly\": {}, \"flip\": false}},\n",
+        p.bw_sites, p.bh_rows, p.lx, p.ly
+    ));
+    json.push_str(&format!("  \"iters_per_config\": {iters},\n"));
+    json.push_str("  \"bit_identical_placements\": true,\n");
+    json.push_str("  \"results_ms_per_pass\": [\n");
+    for (i, (name, threads, ms)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sched\": \"{name}\", \"threads\": {threads}, \"ms\": {ms:.2}}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"worksteal_speedup_over_static_8t\": {speedup_8t:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"worksteal_scaling_1t_to_8t\": {scaling_ws:.3}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write benchmark artifact");
+    println!("wrote {out}");
+    println!("work-stealing speedup over static chunking at 8 threads: {speedup_8t:.3}x");
+}

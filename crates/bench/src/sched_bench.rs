@@ -1,0 +1,119 @@
+//! Shared fixtures for the `DistOpt` scheduler benchmarks (the
+//! `distopt_sched` criterion bench and the `bench_distopt_sched` binary
+//! that produces the checked-in `BENCH_distopt_sched.json`).
+
+use vm1_core::{DistOptParams, DistOptStats, SchedPolicy, Vm1Config, Vm1Optimizer};
+use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
+use vm1_netlist::Design;
+use vm1_place::{place, PlaceConfig};
+use vm1_tech::{CellArch, Library};
+
+/// A placed ClosedM1 benchmark design of `n` instances (AES profile,
+/// fixed seed).
+#[must_use]
+pub fn bench_design(n: usize) -> Design {
+    let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+    let mut d = GeneratorConfig::profile(DesignProfile::Aes)
+        .with_insts(n)
+        .generate(&lib, 7);
+    place(&mut d, &PlaceConfig::default(), 7);
+    d
+}
+
+/// Pass parameters sized so a round has roughly one window per worker of
+/// an 8-thread pool — the regime where scheduling policy matters.
+#[must_use]
+pub fn bench_params(d: &Design) -> DistOptParams {
+    DistOptParams {
+        tx: 0,
+        ty: 0,
+        bw_sites: (d.sites_per_row / 10).max(10),
+        bh_rows: (d.num_rows / 10).max(2),
+        lx: 3,
+        ly: 1,
+        flip: false,
+    }
+}
+
+/// The benchmark configuration for a thread count and scheduling policy
+/// (cache off so every pass does identical full work).
+#[must_use]
+pub fn bench_config(threads: usize, sched: SchedPolicy) -> Vm1Config {
+    let mut cfg = Vm1Config::closedm1()
+        .with_threads(threads)
+        .with_sched(sched);
+    cfg.smart_window_selection = false;
+    cfg
+}
+
+/// Runs one uncached `DistOpt` pass on `d` (pool spawned per call; use
+/// [`SchedSession`] to reuse a pool across passes).
+pub fn pass_once(
+    d: &mut Design,
+    p: &DistOptParams,
+    threads: usize,
+    sched: SchedPolicy,
+) -> DistOptStats {
+    Vm1Optimizer::new(bench_config(threads, sched)).run_pass(d, p)
+}
+
+/// A reusable benchmark session holding one persistent worker pool.
+#[derive(Debug)]
+pub struct SchedSession(Vm1Optimizer);
+
+impl SchedSession {
+    /// Spawns the session's pool.
+    #[must_use]
+    pub fn new(threads: usize, sched: SchedPolicy) -> SchedSession {
+        SchedSession(Vm1Optimizer::new(bench_config(threads, sched)))
+    }
+
+    /// One `DistOpt` pass on the session's pool.
+    pub fn pass(&mut self, d: &mut Design, p: &DistOptParams) -> DistOptStats {
+        self.0.run_pass(d, p)
+    }
+}
+
+/// Order-sensitive digest of a placement, for cross-config bit-identity
+/// checks in the benchmark artifacts.
+#[must_use]
+pub fn placement_digest(d: &Design) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for (_, i) in d.insts() {
+        for v in [
+            i.site as u64,
+            i.row as u64,
+            u64::from(i.orient.is_flipped()),
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_policies_agree() {
+        let base = bench_design(400);
+        let p = bench_params(&base);
+        let mut digests = Vec::new();
+        for (threads, sched) in [
+            (1, SchedPolicy::WorkSteal),
+            (2, SchedPolicy::StaticChunk),
+            (2, SchedPolicy::WorkSteal),
+        ] {
+            let mut d = base.clone();
+            let stats = pass_once(&mut d, &p, threads, sched);
+            assert!(stats.rounds > 0);
+            digests.push(placement_digest(&d));
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "scheduling must not change the result"
+        );
+    }
+}

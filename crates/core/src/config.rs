@@ -45,6 +45,19 @@ pub enum SolverKind {
     Greedy,
 }
 
+/// Scheduling policy of the persistent `DistOpt` worker pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// One task per window on striped per-worker deques; an idle worker
+    /// steals from the back of another worker's deque, so one dense
+    /// window no longer stalls its whole round.
+    #[default]
+    WorkSteal,
+    /// One contiguous chunk of the round's windows per worker, no
+    /// stealing (the pre-pool chunking; kept for comparison benchmarks).
+    StaticChunk,
+}
+
 /// Configuration of the vertical-M1 detailed placement optimization.
 #[derive(Clone, Debug)]
 pub struct Vm1Config {
@@ -80,6 +93,10 @@ pub struct Vm1Config {
     pub max_inner_iters: usize,
     /// Number of worker threads for parallel window optimization.
     pub threads: usize,
+    /// How the windows of a round are scheduled over the worker threads.
+    /// Placements and counters are invariant under this choice (and under
+    /// `threads`); only wall-clock and the scheduler gauges differ.
+    pub sched: SchedPolicy,
     /// Optional per-net weight multipliers (β_n = β · weight). The paper
     /// lists timing-criticality-aware objectives as future work (§6 item
     /// ii); the `net_criticality_weights` helper in `vm1-flow` produces
@@ -116,6 +133,7 @@ impl Vm1Config {
             max_nodes: 300_000,
             max_inner_iters: 8,
             threads: 8,
+            sched: SchedPolicy::WorkSteal,
             net_weights: None,
             smart_window_selection: true,
             certify: false,
@@ -158,6 +176,25 @@ impl Vm1Config {
     #[must_use]
     pub fn with_certify(mut self, certify: bool) -> Vm1Config {
         self.certify = certify;
+        self
+    }
+
+    /// Replaces the worker-thread count of the window pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Vm1Config {
+        assert!(threads > 0, "threads must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the window scheduling policy.
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedPolicy) -> Vm1Config {
+        self.sched = sched;
         self
     }
 
@@ -211,6 +248,16 @@ mod tests {
         assert_eq!(c.sequence.len(), 2);
         assert_eq!(c.sequence[1].lx, 3);
         assert_eq!(c.sequence[1].ly, 0);
+        let c = c.with_threads(2).with_sched(SchedPolicy::StaticChunk);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.sched, SchedPolicy::StaticChunk);
+        assert_eq!(Vm1Config::closedm1().sched, SchedPolicy::WorkSteal);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads")]
+    fn zero_threads_rejected() {
+        let _ = Vm1Config::closedm1().with_threads(0);
     }
 
     #[test]

@@ -3,28 +3,38 @@
 //! The layout is partitioned into windows (shifted by `(tx, ty)`); the
 //! diagonal sets of [`crate::window::WindowGrid::diagonal_sets`] are
 //! processed one after another, and the windows *within* a set are solved
-//! in parallel (their projections are disjoint, so window-local ΔHPWL is
-//! exact — Figure 4b). Windows holding more movable cells than
-//! `max_cells_per_milp` are solved in sequential batches with earlier
-//! batches fixed (the documented CPLEX-scale substitution, DESIGN.md §5).
+//! in parallel by the persistent [`crate::sched::WorkerPool`] (their
+//! projections are disjoint, so window-local ΔHPWL is exact — Figure 4b).
+//! Windows holding more movable cells than `max_cells_per_milp` are
+//! solved in sequential batches with earlier batches fixed (the
+//! documented CPLEX-scale substitution, DESIGN.md §5).
+//!
+//! Occupancy is maintained incrementally: the [`RowMap`] is built once
+//! per pass and patched with the committed moves after every round (see
+//! [`vm1_place::RowMap::patch_moves`]), so round setup cost scales with
+//! what changed instead of with design size.
 
-use crate::problem::{Candidate, Overrides, WindowProblem};
+use crate::problem::{Candidate, Overrides, SolveScratch, WindowProblem};
+use crate::sched::{RoundCtx, WorkerPool};
 use crate::solver::solve_window_with;
 use crate::window::{Window, WindowGrid};
 use crate::Vm1Config;
 use std::collections::HashSet;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use vm1_netlist::{Design, InstId};
-use vm1_obs::{Counter, MetricsHandle, MetricsReport, Stage, Telemetry};
-use vm1_place::RowMap;
+use vm1_obs::{Counter, MetricsHandle, MetricsReport, SchedGauge, Stage, Telemetry};
+use vm1_place::{RowMap, SpanMove};
 
 /// Cache for the smart window selection: remembers problem-state digests
 /// whose (deterministic) solve produced no improvement, so re-solving an
 /// unchanged window is skipped. Sound because
 /// [`WindowProblem::state_digest`] covers everything a solver observes.
-#[derive(Debug, Default)]
+///
+/// Cloning is shallow: clones share the same digest set, which is how the
+/// session hands its cache to the `'static` pool workers.
+#[derive(Clone, Debug, Default)]
 pub struct SolveCache {
-    no_gain: Mutex<HashSet<u64>>,
+    no_gain: Arc<Mutex<HashSet<u64>>>,
 }
 
 impl SolveCache {
@@ -104,7 +114,7 @@ impl DistOptStats {
             windows: r.counter(Counter::WindowsImproved) as usize,
             cells_changed: r.counter(Counter::CellsChanged) as usize,
             rounds: r.counter(Counter::DistOptRounds) as usize,
-            batches_skipped: r.counter(Counter::CacheHits) as usize,
+            batches_skipped: r.counter(Counter::BatchCacheHits) as usize,
         }
     }
 }
@@ -120,8 +130,16 @@ impl DistOptStats {
     note = "use `Vm1Optimizer::new(cfg).run_pass(design, params)` instead"
 )]
 pub fn dist_opt(design: &mut Design, p: &DistOptParams, cfg: &Vm1Config) -> DistOptStats {
-    let telemetry = std::sync::Arc::new(Telemetry::new());
-    dist_opt_impl(design, p, cfg, None, &MetricsHandle::of(telemetry.clone()));
+    let telemetry = Arc::new(Telemetry::new());
+    let pool = WorkerPool::new(cfg.threads, cfg.sched);
+    dist_opt_impl(
+        design,
+        p,
+        cfg,
+        None,
+        &MetricsHandle::of(telemetry.clone()),
+        &pool,
+    );
     DistOptStats::from_report(&telemetry.report())
 }
 
@@ -138,91 +156,117 @@ pub fn dist_opt_cached(
     cfg: &Vm1Config,
     cache: Option<&SolveCache>,
 ) -> DistOptStats {
-    let telemetry = std::sync::Arc::new(Telemetry::new());
-    dist_opt_impl(design, p, cfg, cache, &MetricsHandle::of(telemetry.clone()));
+    let telemetry = Arc::new(Telemetry::new());
+    let pool = WorkerPool::new(cfg.threads, cfg.sched);
+    dist_opt_impl(
+        design,
+        p,
+        cfg,
+        cache,
+        &MetricsHandle::of(telemetry.clone()),
+        &pool,
+    );
     DistOptStats::from_report(&telemetry.report())
 }
 
 /// Algorithm 2 proper. All accounting goes through `metrics`; callers
 /// wanting a [`DistOptStats`] attach a [`Telemetry`] sink and build the
-/// view from its report.
+/// view from its report. Rounds execute on `pool`'s persistent workers
+/// (or inline for a single-thread pool) — no threads are spawned here.
 pub(crate) fn dist_opt_impl(
     design: &mut Design,
     p: &DistOptParams,
     cfg: &Vm1Config,
     cache: Option<&SolveCache>,
     metrics: &MetricsHandle,
+    pool: &WorkerPool,
 ) {
     let grid = WindowGrid::partition(design, p.tx, p.ty, p.bw_sites, p.bh_rows);
     let sets = grid.diagonal_sets();
     metrics.incr(Counter::DistOptPasses);
     metrics.add(Counter::DistOptRounds, sets.len() as u64);
 
-    for set in sets {
-        // Snapshot occupancy for this round.
-        let rowmap = RowMap::build(design);
-        let windows: Vec<Window> = set.iter().map(|&i| grid.windows[i]).collect();
+    // Hand the design to the `'static` pool workers via `Arc`: the
+    // caller's reference is parked on an empty placeholder and restored
+    // at the end of the pass (also when a solve panics).
+    let placeholder = Design::new("", design.library().clone(), 0, 0);
+    let mut shared = Arc::new(std::mem::replace(design, placeholder));
+    // Build occupancy once per pass; rounds patch it incrementally.
+    let mut rowmap = Arc::new(RowMap::build(&shared));
+    metrics.incr(Counter::RowMapBuilds);
+    let cfg_shared = Arc::new(cfg.clone());
 
-        // Solve windows of the set in parallel. The chunk partition is
-        // deterministic, so per-window outcomes (and therefore every
-        // counter total) are independent of thread scheduling.
-        let design_ref: &Design = design;
-        let rowmap_ref = &rowmap;
-        let mut results: Vec<WindowOutcome> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(windows.len());
-            for chunk in windows.chunks(windows.len().div_ceil(cfg.threads.max(1)).max(1)) {
-                let worker_metrics = metrics.clone();
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|win| {
-                            solve_one_window(
-                                design_ref,
-                                rowmap_ref,
-                                *win,
-                                p,
-                                cfg,
-                                cache,
-                                &worker_metrics,
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                }));
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for set in &sets {
+            let windows: Vec<Window> = set.iter().map(|&i| grid.windows[i]).collect();
+            metrics.record_gauge(SchedGauge::QueueHighWater, windows.len() as u64);
+            let round = pool.run_round(RoundCtx {
+                design: Arc::clone(&shared),
+                rowmap: Arc::clone(&rowmap),
+                windows,
+                p: *p,
+                cfg: Arc::clone(&cfg_shared),
+                cache: cache.cloned(),
+                metrics: metrics.clone(),
+            });
+            if let Some(payload) = round.panics.into_iter().next() {
+                // Re-raise a worker panic with its original payload (the
+                // outer catch restores the caller's design first).
+                std::panic::resume_unwind(payload);
             }
-            for h in handles {
-                match h.join() {
-                    Ok(r) => results.extend(r),
-                    // Surface a worker panic on the committing thread with
-                    // the original payload instead of a generic message.
-                    Err(payload) => std::panic::resume_unwind(payload),
+
+            // Commit in window-index order on this single thread; every
+            // deterministic counter is emitted here. `run_round` returned
+            // all snapshot clones, so `make_mut` mutates in place.
+            let d = Arc::make_mut(&mut shared);
+            let mut span_moves: Vec<SpanMove> = Vec::new();
+            for outcome in round.outcomes.into_iter().flatten() {
+                if outcome.visited {
+                    metrics.incr(Counter::WindowsVisited);
                 }
-            }
-        });
-
-        // Commit (windows are disjoint, so order does not matter; keep it
-        // deterministic anyway). Counters are emitted from this single
-        // committing thread.
-        for outcome in results {
-            if outcome.visited {
-                metrics.incr(Counter::WindowsVisited);
-            }
-            metrics.add(Counter::CacheHits, outcome.batches_skipped as u64);
-            metrics.add(Counter::BatchesSolved, outcome.batches_solved as u64);
-            if !outcome.moves.is_empty() {
-                metrics.incr(Counter::WindowsImproved);
-            }
-            for (inst, cand) in outcome.moves {
-                let before = {
-                    let i = design.inst(inst);
-                    (i.site, i.row, i.orient)
-                };
-                if before != (cand.site, cand.row, cand.orient) {
+                metrics.add(Counter::BatchCacheHits, outcome.batches_skipped as u64);
+                metrics.add(Counter::BatchesSolved, outcome.batches_solved as u64);
+                if !outcome.moves.is_empty() {
+                    metrics.incr(Counter::WindowsImproved);
+                }
+                for (inst, cand) in outcome.moves {
+                    let (site, row, orient) = {
+                        let i = d.inst(inst);
+                        (i.site, i.row, i.orient)
+                    };
+                    if (site, row, orient) == (cand.site, cand.row, cand.orient) {
+                        continue; // solvers record only real changes; guard anyway
+                    }
                     metrics.incr(Counter::CellsChanged);
+                    if (site, row) != (cand.site, cand.row) {
+                        // Flips keep their span; only positional moves
+                        // patch the occupancy index.
+                        let w = d.library().cell(d.inst(inst).cell).width_sites;
+                        span_moves.push(SpanMove {
+                            inst,
+                            old_row: row,
+                            new_row: cand.row,
+                            new_start: cand.site,
+                            new_end: cand.site + w,
+                        });
+                    }
+                    d.move_inst(inst, cand.site, cand.row, cand.orient);
                 }
-                design.move_inst(inst, cand.site, cand.row, cand.orient);
             }
+            if !span_moves.is_empty() {
+                let patched = Arc::make_mut(&mut rowmap).patch_moves(&span_moves);
+                metrics.add(Counter::RowMapRowsPatched, patched as u64);
+            }
+            debug_assert!(
+                rowmap.consistent_with(&shared),
+                "incremental occupancy diverged from the placement"
+            );
         }
+    }));
+
+    *design = Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone());
+    if let Err(payload) = run {
+        std::panic::resume_unwind(payload);
     }
 
     debug_assert!(
@@ -232,20 +276,24 @@ pub(crate) fn dist_opt_impl(
 }
 
 /// What happened inside one window.
-struct WindowOutcome {
-    /// Moves to commit (assignment of every cell in a changed batch).
-    moves: Vec<(InstId, Candidate)>,
+pub(crate) struct WindowOutcome {
+    /// Moves to commit: only cells whose placement actually changed
+    /// (unchanged candidates of a changed batch are *not* recorded — they
+    /// are not moves, and recording them would churn occupancy and break
+    /// incremental `RowMap` patching).
+    pub(crate) moves: Vec<(InstId, Candidate)>,
     /// Whether the window contained any movable cell.
-    visited: bool,
+    pub(crate) visited: bool,
     /// Batches handed to a window solver.
-    batches_solved: usize,
+    pub(crate) batches_solved: usize,
     /// Batches skipped by the smart-selection cache.
-    batches_skipped: usize,
+    pub(crate) batches_skipped: usize,
 }
 
 /// Solves one window (with batching); returns the moves to commit plus
 /// batch accounting for the metrics layer.
-fn solve_one_window(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_one_window(
     design: &Design,
     rowmap: &RowMap,
     win: Window,
@@ -253,21 +301,22 @@ fn solve_one_window(
     cfg: &Vm1Config,
     cache: Option<&SolveCache>,
     metrics: &MetricsHandle,
+    scratch: &mut SolveScratch,
 ) -> WindowOutcome {
     let mut overrides = Overrides::new();
-    let movable = WindowProblem::movable_in_window(design, rowmap, &win, &overrides);
+    WindowProblem::movable_in_window_into(design, rowmap, &win, &overrides, scratch);
+    // Take the buffer out so `scratch` stays available for the per-batch
+    // problem construction; returned before exit to keep its capacity.
+    let movable = std::mem::take(&mut scratch.movable);
     let mut outcome = WindowOutcome {
         moves: Vec::new(),
         visited: !movable.is_empty(),
         batches_solved: 0,
         batches_skipped: 0,
     };
-    if movable.is_empty() {
-        return outcome;
-    }
     for batch in movable.chunks(cfg.max_cells_per_milp.max(1)) {
-        let prob = WindowProblem::build(
-            design, rowmap, win, batch, p.lx, p.ly, p.flip, cfg, &overrides,
+        let prob = WindowProblem::build_with_scratch(
+            design, rowmap, win, batch, p.lx, p.ly, p.flip, cfg, &overrides, scratch,
         );
         let digest = prob.state_digest();
         if let Some(c) = cache {
@@ -287,11 +336,15 @@ fn solve_one_window(
             continue;
         }
         for (cell, &k) in prob.cells.iter().zip(&assign) {
+            if k == cell.current {
+                continue; // cell kept its placement — not a move
+            }
             let cand = cell.cands[k];
             overrides.insert(cell.inst, cand);
             outcome.moves.push((cell.inst, cand));
         }
     }
+    scratch.movable = movable;
     outcome
 }
 
@@ -390,8 +443,23 @@ mod tests {
         let p2 = params(&d2);
         let t1 = std::sync::Arc::new(Telemetry::new());
         let t2 = std::sync::Arc::new(Telemetry::new());
-        dist_opt_impl(&mut d1, &p1, &cfg, None, &MetricsHandle::of(t1.clone()));
-        dist_opt_impl(&mut d2, &p2, &cfg, None, &MetricsHandle::of(t2.clone()));
+        let pool = WorkerPool::new(cfg.threads, cfg.sched);
+        dist_opt_impl(
+            &mut d1,
+            &p1,
+            &cfg,
+            None,
+            &MetricsHandle::of(t1.clone()),
+            &pool,
+        );
+        dist_opt_impl(
+            &mut d2,
+            &p2,
+            &cfg,
+            None,
+            &MetricsHandle::of(t2.clone()),
+            &pool,
+        );
         for ((_, a), (_, b)) in d1.insts().zip(d2.insts()) {
             assert_eq!((a.site, a.row, a.orient), (b.site, b.row, b.orient));
         }
@@ -403,6 +471,68 @@ mod tests {
         }
         assert!(r1.counter(Counter::BatchesSolved) > 0);
         assert!(r1.counter(Counter::DfsNodes) > 0, "default solver is DFS");
+        assert!(r1.counter(Counter::RowMapBuilds) > 0);
+    }
+
+    #[test]
+    fn sched_policies_and_thread_counts_bit_identical() {
+        // Placements AND counters must be invariant under both scheduling
+        // policy and thread count (the tentpole's determinism contract).
+        use crate::config::SchedPolicy;
+        type Snapshot = (Vec<(i64, i64, bool)>, Vec<u64>);
+        let mut reference: Option<Snapshot> = None;
+        for (threads, sched) in [
+            (1, SchedPolicy::WorkSteal),
+            (4, SchedPolicy::WorkSteal),
+            (4, SchedPolicy::StaticChunk),
+        ] {
+            let (mut d, cfg) = setup(CellArch::ClosedM1, 200, 6);
+            let cfg = cfg.with_threads(threads).with_sched(sched);
+            let p = params(&d);
+            let t = std::sync::Arc::new(Telemetry::new());
+            let pool = WorkerPool::new(cfg.threads, cfg.sched);
+            dist_opt_impl(&mut d, &p, &cfg, None, &MetricsHandle::of(t.clone()), &pool);
+            let placement: Vec<(i64, i64, bool)> = d
+                .insts()
+                .map(|(_, i)| (i.site, i.row, i.orient.is_flipped()))
+                .collect();
+            let r = t.report();
+            let counters: Vec<u64> = Counter::ALL.iter().map(|&c| r.counter(c)).collect();
+            match &reference {
+                None => reference = Some((placement, counters)),
+                Some((p0, c0)) => {
+                    assert_eq!(&placement, p0, "threads={threads} sched={sched:?}");
+                    assert_eq!(&counters, c0, "threads={threads} sched={sched:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_moves_are_real_changes() {
+        // Regression: `solve_one_window` used to record every cell of a
+        // changed batch as a move, including cells that kept their
+        // placement. Every recorded move must differ from the design.
+        let (d, cfg) = setup(CellArch::ClosedM1, 250, 7);
+        let p = params(&d);
+        let rm = RowMap::build(&d);
+        let grid = WindowGrid::partition(&d, p.tx, p.ty, p.bw_sites, p.bh_rows);
+        let metrics = MetricsHandle::disabled();
+        let mut scratch = SolveScratch::new();
+        let mut moves_seen = 0usize;
+        for &win in &grid.windows {
+            let out = solve_one_window(&d, &rm, win, &p, &cfg, None, &metrics, &mut scratch);
+            for (inst, cand) in &out.moves {
+                let i = d.inst(*inst);
+                assert_ne!(
+                    (i.site, i.row, i.orient),
+                    (cand.site, cand.row, cand.orient),
+                    "recorded move must change the placement"
+                );
+                moves_seen += 1;
+            }
+        }
+        assert!(moves_seen > 0, "test design must produce some moves");
     }
 
     #[test]

@@ -61,12 +61,13 @@ pub mod milp;
 mod objective;
 mod pairs;
 pub mod problem;
+mod sched;
 pub mod session;
 pub mod solver;
 pub mod window;
 
 pub use audit::{audit_design, audit_design_with, recount_alignments, DesignAuditReport};
-pub use config::{ParamSet, SolverKind, Vm1Config};
+pub use config::{ParamSet, SchedPolicy, SolverKind, Vm1Config};
 #[allow(deprecated)]
 pub use distopt::{dist_opt, dist_opt_cached};
 pub use distopt::{DistOptParams, DistOptStats, SolveCache};

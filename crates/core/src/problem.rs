@@ -13,7 +13,7 @@
 use crate::pairs::{alignable_pairs, pin_layer};
 use crate::window::Window;
 use crate::Vm1Config;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use vm1_geom::Orient;
 use vm1_netlist::{Design, InstId, NetId, NetPin, PinRef};
 use vm1_place::RowMap;
@@ -130,6 +130,29 @@ pub struct WindowProblem {
 /// are built.
 pub type Overrides = HashMap<InstId, Candidate>;
 
+/// Reusable buffers for window-problem construction. Each pool worker
+/// owns one scratch and threads it through every window it solves, so the
+/// hot path ([`WindowProblem::movable_in_window_into`] and
+/// [`WindowProblem::build_with_scratch`]) allocates only once per worker
+/// instead of once per window.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    /// Row-occupant buffer ([`RowMap::occupants_into`]).
+    ids: Vec<InstId>,
+    /// Output buffer of [`WindowProblem::movable_in_window_into`].
+    pub(crate) movable: Vec<InstId>,
+    /// Instance de-duplication set of the occupancy scan.
+    seen: HashSet<InstId>,
+}
+
+impl SolveScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> SolveScratch {
+        SolveScratch::default()
+    }
+}
+
 fn view_pos(design: &Design, ov: &Overrides, inst: InstId) -> Candidate {
     ov.get(&inst).copied().unwrap_or_else(|| {
         let i = design.inst(inst);
@@ -180,6 +203,37 @@ impl WindowProblem {
         cfg: &Vm1Config,
         overrides: &Overrides,
     ) -> WindowProblem {
+        let mut scratch = SolveScratch::default();
+        WindowProblem::build_with_scratch(
+            design,
+            rowmap,
+            window,
+            movable,
+            lx,
+            ly,
+            flip,
+            cfg,
+            overrides,
+            &mut scratch,
+        )
+    }
+
+    /// [`WindowProblem::build`] with caller-owned scratch buffers (see
+    /// [`SolveScratch`]); the hot path of the worker pool.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_scratch(
+        design: &Design,
+        rowmap: &RowMap,
+        window: Window,
+        movable: &[InstId],
+        lx: i64,
+        ly: i64,
+        flip: bool,
+        cfg: &Vm1Config,
+        overrides: &Overrides,
+        scratch: &mut SolveScratch,
+    ) -> WindowProblem {
         let tech = design.library().tech();
         let arch = design.library().arch();
         let exact = arch.requires_exact_alignment();
@@ -203,13 +257,12 @@ impl WindowProblem {
         };
         // All instances intersecting the window (including border-crossers
         // and earlier-batch movers).
-        let mut seen: HashMap<InstId, ()> = HashMap::new();
+        scratch.seen.clear();
         for row in window.row0..window.row_end() {
-            for id in rowmap.occupants(row, window.site0, window.site_end()) {
-                seen.entry(id).or_insert(());
-            }
+            rowmap.occupants_into(row, window.site0, window.site_end(), &mut scratch.ids);
+            scratch.seen.extend(scratch.ids.iter().copied());
         }
-        for &id in seen.keys() {
+        for &id in &scratch.seen {
             if movable_set.contains_key(&id) {
                 continue;
             }
@@ -638,11 +691,25 @@ impl WindowProblem {
         window: &Window,
         overrides: &Overrides,
     ) -> Vec<InstId> {
-        let mut out = Vec::new();
+        let mut scratch = SolveScratch::default();
+        WindowProblem::movable_in_window_into(design, rowmap, window, overrides, &mut scratch);
+        scratch.movable
+    }
+
+    /// [`WindowProblem::movable_in_window`] into the reusable
+    /// `scratch.movable` buffer (same deterministic order).
+    pub fn movable_in_window_into(
+        design: &Design,
+        rowmap: &RowMap,
+        window: &Window,
+        overrides: &Overrides,
+        scratch: &mut SolveScratch,
+    ) {
+        scratch.movable.clear();
         for row in window.row0..window.row_end() {
-            let mut ids = rowmap.occupants(row, window.site0, window.site_end());
-            ids.sort_unstable();
-            for id in ids {
+            rowmap.occupants_into(row, window.site0, window.site_end(), &mut scratch.ids);
+            scratch.ids.sort_unstable();
+            for &id in &scratch.ids {
                 let inst = design.inst(id);
                 if inst.fixed {
                     continue;
@@ -653,11 +720,10 @@ impl WindowProblem {
                 }
                 let w = design.library().cell(inst.cell).width_sites;
                 if window.contains_span(pos.site, w, pos.row) {
-                    out.push(id);
+                    scratch.movable.push(id);
                 }
             }
         }
-        out
     }
 }
 

@@ -1,0 +1,393 @@
+//! Persistent work-stealing worker pool for the `DistOpt` rounds.
+//!
+//! The pool is created once (lazily, by [`crate::Vm1Optimizer`]) and
+//! reused for every round of every pass, replacing the per-round
+//! scoped-thread spawning the module used to do. Each round hands the
+//! workers an immutable snapshot of the design and occupancy index
+//! (`Arc`s inside [`RoundCtx`]); every window of the round is one task.
+//!
+//! # Scheduling
+//!
+//! Under [`SchedPolicy::WorkSteal`] tasks are striped over per-worker
+//! deques; a worker pops its own deque from the front and, when empty,
+//! steals from the back of the others — so one dense window no longer
+//! stalls its whole round. [`SchedPolicy::StaticChunk`] assigns one
+//! contiguous chunk per worker with no stealing, mirroring the old
+//! behaviour for benchmarks.
+//!
+//! # Determinism
+//!
+//! Scheduling never reaches the results: each task writes its
+//! [`WindowOutcome`] into a slot indexed by task number, and the round
+//! returns the slots in window-index order to the single committing
+//! thread. A window outcome depends only on the round's immutable inputs
+//! (windows of one diagonal set are disjoint, and the no-gain cache can
+//! never be hit by a digest inserted in the same round because digests
+//! include the window position), so placements and every [`vm1_obs::Counter`]
+//! are bit-identical for any `threads`/policy combination. Only the
+//! [`SchedGauge`] channel (steals, busy times) is scheduling-dependent.
+//!
+//! # Pool protocol
+//!
+//! A round is published under the pool mutex with a bumped epoch; workers
+//! attach (increment `working`) at most once per epoch. A worker drops
+//! its `Arc<RoundState>` clone *before* detaching, so when the committing
+//! thread observes `remaining == 0 && working == 0` under the same mutex,
+//! no worker can still hold the design/rowmap snapshots. Task panics are
+//! caught per task and re-raised on the committing thread after cleanup.
+
+use crate::distopt::{solve_one_window, DistOptParams, SolveCache, WindowOutcome};
+use crate::problem::SolveScratch;
+use crate::window::Window;
+use crate::{SchedPolicy, Vm1Config};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use vm1_netlist::Design;
+use vm1_obs::{MetricsHandle, SchedGauge};
+use vm1_place::RowMap;
+
+/// All locks in this module guard plain data that is valid in every
+/// intermediate state, so a poisoning panic elsewhere never invalidates
+/// them.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Everything one round of window solving needs, shared with the workers.
+pub(crate) struct RoundCtx {
+    /// Immutable design snapshot of the round.
+    pub design: Arc<Design>,
+    /// Occupancy index matching `design`.
+    pub rowmap: Arc<RowMap>,
+    /// The round's windows (one diagonal set, in window-index order).
+    pub windows: Vec<Window>,
+    /// DistOpt parameters of the pass.
+    pub p: DistOptParams,
+    /// Solver configuration.
+    pub cfg: Arc<Vm1Config>,
+    /// Smart window-selection cache, if enabled.
+    pub cache: Option<SolveCache>,
+    /// Metrics fan-out of the pass.
+    pub metrics: MetricsHandle,
+}
+
+/// What a round returns to the committing thread.
+pub(crate) struct RoundResult {
+    /// Per-window outcomes in window-index order; `None` only for a task
+    /// that panicked (then `panics` is non-empty).
+    pub outcomes: Vec<Option<WindowOutcome>>,
+    /// Panic payloads of crashed tasks, to re-raise after cleanup.
+    pub panics: Vec<Box<dyn Any + Send>>,
+}
+
+/// Shared state of one in-flight round.
+struct RoundState {
+    ctx: RoundCtx,
+    policy: SchedPolicy,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    results: Vec<Mutex<Option<WindowOutcome>>>,
+    remaining: AtomicUsize,
+    panics: Mutex<Vec<Box<dyn Any + Send>>>,
+}
+
+struct PoolState {
+    round: Option<Arc<RoundState>>,
+    epoch: u64,
+    working: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a round is published or the pool shuts down.
+    work_cv: Condvar,
+    /// Signalled when a worker detaches from a round.
+    done_cv: Condvar,
+}
+
+/// The persistent window-solving pool. Owned by `Vm1Optimizer`; dropped
+/// pools shut their workers down and join them.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    policy: SchedPolicy,
+    /// Scratch of the inline path (single-thread pools and one-window
+    /// rounds run on the calling thread).
+    scratch: Mutex<SolveScratch>,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of `threads` persistent workers. A single-thread
+    /// pool spawns nothing and runs rounds inline on the caller.
+    pub(crate) fn new(threads: usize, policy: SchedPolicy) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                round: None,
+                epoch: 0,
+                working: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        if threads >= 2 {
+            for i in 0..threads {
+                let sh = Arc::clone(&shared);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("vm1-window-{i}"))
+                        .spawn(move || worker_main(&sh, i))
+                        .expect("spawn DistOpt pool worker"),
+                );
+            }
+        }
+        WorkerPool {
+            shared,
+            handles,
+            policy,
+            scratch: Mutex::new(SolveScratch::default()),
+        }
+    }
+
+    /// Number of pool workers (0 = inline execution on the caller).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Solves every window of `ctx` and returns the outcomes in
+    /// window-index order. Blocks until the round is fully drained; on
+    /// return no worker holds a reference to the round's snapshots.
+    pub(crate) fn run_round(&self, ctx: RoundCtx) -> RoundResult {
+        let n = ctx.windows.len();
+        if self.handles.is_empty() || n <= 1 {
+            return self.run_inline(&ctx);
+        }
+        let nw = self.handles.len();
+        let mut qs: Vec<VecDeque<usize>> = (0..nw).map(|_| VecDeque::new()).collect();
+        match self.policy {
+            SchedPolicy::WorkSteal => {
+                for t in 0..n {
+                    qs[t % nw].push_back(t);
+                }
+            }
+            SchedPolicy::StaticChunk => {
+                let chunk = n.div_ceil(nw).max(1);
+                for t in 0..n {
+                    qs[(t / chunk).min(nw - 1)].push_back(t);
+                }
+            }
+        }
+        let round = Arc::new(RoundState {
+            ctx,
+            policy: self.policy,
+            queues: qs.into_iter().map(Mutex::new).collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(n),
+            panics: Mutex::new(Vec::new()),
+        });
+        {
+            let mut st = lock(&self.shared.state);
+            st.round = Some(Arc::clone(&round));
+            st.epoch = st.epoch.wrapping_add(1);
+            self.shared.work_cv.notify_all();
+            while round.remaining.load(Ordering::Acquire) != 0 || st.working != 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            // Clearing the slot under the same lock in which `working`
+            // hit zero guarantees no worker re-attaches to this epoch.
+            st.round = None;
+        }
+        let panics = std::mem::take(&mut *lock(&round.panics));
+        let outcomes = round.results.iter().map(|r| lock(r).take()).collect();
+        // Last reference: releases the design/rowmap snapshot clones so
+        // the committing thread regains unique ownership.
+        drop(round);
+        RoundResult { outcomes, panics }
+    }
+
+    /// Runs a round on the calling thread (single-thread pools and
+    /// trivial rounds). Panics propagate directly to the caller.
+    fn run_inline(&self, ctx: &RoundCtx) -> RoundResult {
+        let start = Instant::now();
+        let mut scratch = lock(&self.scratch);
+        let outcomes: Vec<Option<WindowOutcome>> = ctx
+            .windows
+            .iter()
+            .map(|&win| {
+                Some(solve_one_window(
+                    &ctx.design,
+                    &ctx.rowmap,
+                    win,
+                    &ctx.p,
+                    &ctx.cfg,
+                    ctx.cache.as_ref(),
+                    &ctx.metrics,
+                    &mut scratch,
+                ))
+            })
+            .collect();
+        let busy = start.elapsed().as_nanos() as u64;
+        ctx.metrics
+            .record_gauge(SchedGauge::TasksExecuted, ctx.windows.len() as u64);
+        ctx.metrics.record_gauge(SchedGauge::WorkerBusyNanos, busy);
+        ctx.metrics
+            .record_gauge(SchedGauge::WorkerBusyMaxNanos, busy);
+        RoundResult {
+            outcomes,
+            panics: Vec::new(),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock(&self.shared.state).shutdown = true;
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker loop: wait for a round, drain tasks, detach, repeat.
+fn worker_main(shared: &PoolShared, me: usize) {
+    let mut scratch = SolveScratch::default();
+    let mut last_epoch = 0u64;
+    loop {
+        let round = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match &st.round {
+                    Some(r) if st.epoch != last_epoch => {
+                        let r = Arc::clone(r);
+                        last_epoch = st.epoch;
+                        st.working += 1;
+                        break r;
+                    }
+                    _ => {
+                        st = shared
+                            .work_cv
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        };
+        run_tasks(&round, me, &mut scratch);
+        // Drop our reference BEFORE detaching: once the committing thread
+        // observes `working == 0`, no worker still holds the round.
+        drop(round);
+        let mut st = lock(&shared.state);
+        st.working -= 1;
+        drop(st);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Drains tasks for one attached worker and records the scheduler gauges.
+fn run_tasks(round: &RoundState, me: usize, scratch: &mut SolveScratch) {
+    let start = Instant::now();
+    let me = me % round.queues.len();
+    let mut executed = 0u64;
+    let mut steals = 0u64;
+    while let Some(task) = claim_task(round, me, &mut steals) {
+        let ctx = &round.ctx;
+        let win = ctx.windows[task];
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            solve_one_window(
+                &ctx.design,
+                &ctx.rowmap,
+                win,
+                &ctx.p,
+                &ctx.cfg,
+                ctx.cache.as_ref(),
+                &ctx.metrics,
+                scratch,
+            )
+        }));
+        match out {
+            Ok(outcome) => *lock(&round.results[task]) = Some(outcome),
+            Err(payload) => lock(&round.panics).push(payload),
+        }
+        executed += 1;
+        // Count the task done only after its result (or panic payload)
+        // is visible; the committing thread acquires on this counter.
+        round.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+    let busy = start.elapsed().as_nanos() as u64;
+    let m = &round.ctx.metrics;
+    m.record_gauge(SchedGauge::TasksExecuted, executed);
+    m.record_gauge(SchedGauge::Steals, steals);
+    m.record_gauge(SchedGauge::WorkerBusyNanos, busy);
+    m.record_gauge(SchedGauge::WorkerBusyMaxNanos, busy);
+}
+
+/// Pops the next task: own deque front first, then (work-stealing only)
+/// the back of the other workers' deques.
+fn claim_task(round: &RoundState, me: usize, steals: &mut u64) -> Option<usize> {
+    if let Some(t) = lock(&round.queues[me]).pop_front() {
+        return Some(t);
+    }
+    if round.policy == SchedPolicy::StaticChunk {
+        return None;
+    }
+    let nq = round.queues.len();
+    for off in 1..nq {
+        if let Some(t) = lock(&round.queues[(me + off) % nq]).pop_back() {
+            *steals += 1;
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_pool_spawns_no_workers() {
+        let pool = WorkerPool::new(1, SchedPolicy::WorkSteal);
+        assert_eq!(pool.workers(), 0, "threads=1 runs inline");
+    }
+
+    #[test]
+    fn multi_thread_pool_spawns_and_joins_workers() {
+        let pool = WorkerPool::new(4, SchedPolicy::StaticChunk);
+        assert_eq!(pool.workers(), 4);
+        assert!(format!("{pool:?}").contains("StaticChunk"));
+        drop(pool); // must shut down and join without hanging
+    }
+
+    #[test]
+    fn pool_survives_repeated_create_drop() {
+        for _ in 0..3 {
+            let pool = WorkerPool::new(2, SchedPolicy::WorkSteal);
+            assert_eq!(pool.workers(), 2);
+        }
+    }
+}

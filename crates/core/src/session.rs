@@ -19,6 +19,7 @@
 use crate::audit::debug_checkpoint;
 use crate::distopt::{dist_opt_impl, DistOptParams, DistOptStats, SolveCache};
 use crate::objective::{calculate_obj, Objective};
+use crate::sched::WorkerPool;
 use crate::Vm1Config;
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,7 +69,7 @@ impl OptStats {
             final_alignments: fin.alignments,
             iterations: r.counter(Counter::Iterations) as usize,
             cells_changed: r.counter(Counter::CellsChanged) as usize,
-            batches_skipped: r.counter(Counter::CacheHits) as usize,
+            batches_skipped: r.counter(Counter::BatchCacheHits) as usize,
             runtime_ms: (r.stage_nanos(Stage::Vm1Opt) / 1_000_000),
         }
     }
@@ -106,6 +107,10 @@ pub struct Vm1Optimizer {
     cache: Option<SolveCache>,
     user_metrics: MetricsHandle,
     last_report: Option<MetricsReport>,
+    /// Persistent window-solver pool: workers are spawned once per
+    /// session and reused by every pass of every run (the workers of a
+    /// 1-thread config run inline, so no threads exist at all).
+    pool: WorkerPool,
 }
 
 impl Vm1Optimizer {
@@ -115,11 +120,13 @@ impl Vm1Optimizer {
     #[must_use]
     pub fn new(cfg: Vm1Config) -> Vm1Optimizer {
         let cache = cfg.smart_window_selection.then(SolveCache::new);
+        let pool = WorkerPool::new(cfg.threads, cfg.sched);
         Vm1Optimizer {
             cfg,
             cache,
             user_metrics: MetricsHandle::disabled(),
             last_report: None,
+            pool,
         }
     }
 
@@ -178,6 +185,7 @@ impl Vm1Optimizer {
         let metrics = self.user_metrics.and(telemetry.clone());
         let cfg = &self.cfg;
         let cache = self.cache.as_ref();
+        let pool = &self.pool;
         let tech = design.library().tech();
         let site = tech.site_width.nm() as f64;
         let row = tech.row_height.nm() as f64;
@@ -216,7 +224,7 @@ impl Vm1Optimizer {
                     flip: false,
                 };
                 metrics.timed(Stage::Perturb, || {
-                    dist_opt_impl(design, &perturb, cfg, cache, &metrics);
+                    dist_opt_impl(design, &perturb, cfg, cache, &metrics, pool);
                 });
                 if let Some(snap) = &snap {
                     debug_checkpoint(
@@ -242,7 +250,7 @@ impl Vm1Optimizer {
                     flip: true,
                 };
                 metrics.timed(Stage::Flip, || {
-                    dist_opt_impl(design, &flip, cfg, cache, &metrics);
+                    dist_opt_impl(design, &flip, cfg, cache, &metrics, pool);
                 });
                 if let Some(snap) = &snap {
                     debug_checkpoint(
@@ -297,7 +305,14 @@ impl Vm1Optimizer {
     pub fn run_pass(&mut self, design: &mut Design, p: &DistOptParams) -> DistOptStats {
         let telemetry = Arc::new(Telemetry::new());
         let metrics = self.user_metrics.and(telemetry.clone());
-        dist_opt_impl(design, p, &self.cfg, self.cache.as_ref(), &metrics);
+        dist_opt_impl(
+            design,
+            p,
+            &self.cfg,
+            self.cache.as_ref(),
+            &metrics,
+            &self.pool,
+        );
         let report = telemetry.report();
         let stats = DistOptStats::from_report(&report);
         self.last_report = Some(report);
@@ -514,13 +529,20 @@ mod cache_tests {
         }
         let r = sink.report();
         assert!(
-            r.counter(Counter::CacheHits) > 0,
+            r.counter(Counter::BatchCacheHits) > 0,
             "re-solving an identical window grid must hit the cache"
         );
         // The user sink accumulates across passes, and the stats views are
         // built from the very same counters — they cannot disagree.
-        assert_eq!(r.counter(Counter::CacheHits) as usize, total_skipped);
+        assert_eq!(r.counter(Counter::BatchCacheHits) as usize, total_skipped);
         assert_eq!(r.counter(Counter::CellsChanged) as usize, total_changed);
+        // Regression: batch-cache skips used to be recorded under the
+        // generic `cache_hits`, polluting unrelated cache accounting.
+        assert_eq!(
+            r.counter(Counter::CacheHits),
+            0,
+            "window-batch skips must not leak into the generic cache counter"
+        );
     }
 
     #[test]

@@ -61,6 +61,12 @@ impl WindowGrid {
     /// mechanism that lets later iterations optimize the previous
     /// boundary regions).
     ///
+    /// The grid is clamped to the core: every returned window has positive
+    /// width and height. Oversize windows (`bw_sites > sites_per_row`,
+    /// `bh_rows > num_rows`) or large shifts therefore never inflate
+    /// `nc`/`nr` with fully empty trailing columns/rows, which used to
+    /// produce extra empty diagonal rounds counted in `DistOptRounds`.
+    ///
     /// # Panics
     ///
     /// Panics if a window dimension is not positive.
@@ -69,23 +75,34 @@ impl WindowGrid {
         assert!(bw_sites > 0 && bh_rows > 0, "window must be positive");
         let tx = tx.rem_euclid(bw_sites);
         let ty = ty.rem_euclid(bh_rows);
-        let sites = design.sites_per_row;
-        let rows = design.num_rows;
-        // First window starts at -tx / -ty; clip windows to the core.
-        let nc = ((sites + tx + bw_sites - 1) / bw_sites) as usize;
-        let nr = ((rows + ty + bh_rows - 1) / bh_rows) as usize;
+        // Non-empty `[start, start+len)` spans of width-`b` windows shifted
+        // left by `t`, clipped to `[0, total)`. Each loop step produces a
+        // non-empty span: `s1 > s0` holds whenever `start < total` (the
+        // first span starts at `-t` with `t < b`, so its clipped start is 0
+        // and its clipped end is `min(b - t, total) > 0`).
+        let spans = |total: i64, b: i64, t: i64| -> Vec<(i64, i64)> {
+            let mut out = Vec::new();
+            let mut start = -t;
+            while start < total {
+                let s0 = start.max(0);
+                let s1 = (start + b).min(total);
+                out.push((s0, s1 - s0));
+                start += b;
+            }
+            out
+        };
+        let cols = spans(design.sites_per_row.max(0), bw_sites, tx);
+        let rws = spans(design.num_rows.max(0), bh_rows, ty);
+        let nc = cols.len();
+        let nr = rws.len();
         let mut windows = Vec::with_capacity(nc * nr);
-        for j in 0..nr as i64 {
-            for i in 0..nc as i64 {
-                let s0 = (i * bw_sites - tx).max(0);
-                let s1 = ((i + 1) * bw_sites - tx).min(sites);
-                let r0 = (j * bh_rows - ty).max(0);
-                let r1 = ((j + 1) * bh_rows - ty).min(rows);
+        for &(r0, h) in &rws {
+            for &(s0, w) in &cols {
                 windows.push(Window {
                     site0: s0,
                     row0: r0,
-                    w_sites: (s1 - s0).max(0),
-                    h_rows: (r1 - r0).max(0),
+                    w_sites: w,
+                    h_rows: h,
                 });
             }
         }
@@ -188,6 +205,56 @@ mod tests {
             .filter(|w| w.w_sites > 0 && w.h_rows > 0)
             .count();
         assert_eq!(covered, nonempty);
+    }
+
+    #[test]
+    fn oversize_window_clamps_to_single_window() {
+        // bw_sites > sites_per_row and bh_rows > num_rows: one window, no
+        // empty trailing grid columns/rows (regression: the old formula
+        // inflated nc/nr, producing empty diagonal rounds).
+        let d = design(4, 30);
+        let g = WindowGrid::partition(&d, 0, 0, 100, 10);
+        assert_eq!((g.nc, g.nr), (1, 1));
+        assert_eq!(g.windows.len(), 1);
+        assert_eq!(
+            g.windows[0],
+            Window {
+                site0: 0,
+                row0: 0,
+                w_sites: 30,
+                h_rows: 4,
+            }
+        );
+        assert_eq!(g.diagonal_sets().len(), 1);
+    }
+
+    #[test]
+    fn oversize_window_with_shift_stays_clamped() {
+        let d = design(4, 30);
+        for (tx, ty) in [(1, 1), (50, 5), (99, 9), (-7, -3)] {
+            let g = WindowGrid::partition(&d, tx, ty, 100, 10);
+            let area: i64 = g.windows.iter().map(|w| w.w_sites * w.h_rows).sum();
+            assert_eq!(area, 4 * 30, "tx={tx} ty={ty}");
+            assert!(
+                g.windows.iter().all(|w| w.w_sites > 0 && w.h_rows > 0),
+                "tx={tx} ty={ty}: all windows non-empty"
+            );
+            assert_eq!(g.windows.len(), g.nc * g.nr);
+        }
+    }
+
+    #[test]
+    fn large_shifts_produce_no_empty_windows() {
+        let d = design(10, 95);
+        for (tx, ty) in [(9, 2), (10, 3), (1234, -567), (-95, 10)] {
+            let g = WindowGrid::partition(&d, tx, ty, 10, 3);
+            let area: i64 = g.windows.iter().map(|w| w.w_sites * w.h_rows).sum();
+            assert_eq!(area, 10 * 95, "tx={tx} ty={ty}");
+            assert!(
+                g.windows.iter().all(|w| w.w_sites > 0 && w.h_rows > 0),
+                "tx={tx} ty={ty}: all windows non-empty"
+            );
+        }
     }
 
     #[test]

@@ -146,6 +146,45 @@ proptest! {
     }
 
     #[test]
+    fn partition_tiles_core_exactly(
+        n_rows in 1i64..40,
+        n_sites in 1i64..400,
+        bw in 1i64..500,
+        bh in 1i64..50,
+        tx in -1000i64..1000,
+        ty in -100i64..100,
+    ) {
+        use vm1_core::window::WindowGrid;
+        let lib = Library::synthetic_7nm(CellArch::ClosedM1);
+        let d = Design::new("tile", lib, n_rows, n_sites);
+        let g = WindowGrid::partition(&d, tx, ty, bw, bh);
+        // Exact tiling: the window areas sum to the core area, every
+        // window is non-empty, and the grid shape matches the count.
+        let area: i64 = g.windows.iter().map(|w| w.w_sites * w.h_rows).sum();
+        prop_assert_eq!(area, n_rows * n_sites);
+        prop_assert_eq!(g.windows.len(), g.nc * g.nr);
+        prop_assert!(g.windows.iter().all(|w| w.w_sites > 0 && w.h_rows > 0));
+        // Diagonal sets cover every window once, with pairwise disjoint
+        // x and y projections inside each set.
+        let sets = g.diagonal_sets();
+        let mut seen = vec![false; g.windows.len()];
+        for set in &sets {
+            for &i in set {
+                prop_assert!(!seen[i], "window in two sets");
+                seen[i] = true;
+            }
+            for (k, &a_i) in set.iter().enumerate() {
+                for &b_i in &set[k + 1..] {
+                    let (a, b) = (g.windows[a_i], g.windows[b_i]);
+                    prop_assert!(!(a.site0 < b.site_end() && b.site0 < a.site_end()));
+                    prop_assert!(!(a.row0 < b.row_end() && b.row0 < a.row_end()));
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every window in some set");
+    }
+
+    #[test]
     fn optimization_preserves_audit_cleanliness(
         arch_i in 0u8..2,
         n in 80usize..160,
@@ -162,5 +201,55 @@ proptest! {
         let post = audit_design(&d, &cfg);
         prop_assert!(post.is_clean(), "post-optimization: {}", post.summary());
         prop_assert!(d.validate_placement().is_ok());
+    }
+}
+
+proptest! {
+    // Full passes are expensive; a handful of random configurations is
+    // plenty to pin the thread-invariance contract.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn pass_bit_identical_across_thread_counts(
+        n in 120usize..220,
+        seed in 0u64..500,
+        lx in 1i64..4,
+        flip_i in 0u8..2,
+    ) {
+        let flip = flip_i == 1;
+        use std::sync::Arc;
+        use vm1_core::DistOptParams;
+        use vm1_obs::{Counter, Telemetry};
+
+        let p = |d: &Design| DistOptParams {
+            tx: 0,
+            ty: 0,
+            bw_sites: (d.sites_per_row / 3).max(10),
+            bh_rows: (d.num_rows / 3).max(2),
+            lx,
+            ly: 1,
+            flip,
+        };
+        // One full DistOpt pass at 1 thread vs 8 threads: placements and
+        // every counter must be bit-identical (scheduler gauges may not).
+        let mut results = Vec::new();
+        for threads in [1usize, 8] {
+            let (mut d, cfg) = build(CellArch::ClosedM1, n, seed);
+            let cfg = cfg.with_threads(threads);
+            let sink = Arc::new(Telemetry::new());
+            let params = p(&d);
+            let _ = Vm1Optimizer::new(cfg)
+                .with_metrics(sink.clone())
+                .run_pass(&mut d, &params);
+            let placement: Vec<(i64, i64, bool)> = d
+                .insts()
+                .map(|(_, i)| (i.site, i.row, i.orient.is_flipped()))
+                .collect();
+            let r = sink.report();
+            let counters: Vec<u64> = Counter::ALL.iter().map(|&c| r.counter(c)).collect();
+            results.push((placement, counters));
+        }
+        prop_assert_eq!(&results[0].0, &results[1].0, "placements differ by thread count");
+        prop_assert_eq!(&results[0].1, &results[1].1, "counters differ by thread count");
     }
 }

@@ -41,7 +41,7 @@ use std::process::exit;
 use std::sync::Arc;
 use vm1_core::problem::{Overrides, WindowProblem};
 use vm1_core::window::WindowGrid;
-use vm1_core::{SolverKind, Vm1Config, Vm1Optimizer};
+use vm1_core::{SchedPolicy, SolverKind, Vm1Config, Vm1Optimizer};
 use vm1_netlist::generator::{DesignProfile, GeneratorConfig};
 use vm1_netlist::io::{read_def, write_def};
 use vm1_netlist::Design;
@@ -75,6 +75,8 @@ struct Opts {
     seed: u64,
     alpha: f64,
     solver: Option<SolverKind>,
+    threads: Option<usize>,
+    sched: Option<SchedPolicy>,
     input: Option<String>,
     output: Option<String>,
     metrics_out: Option<String>,
@@ -90,6 +92,8 @@ impl Opts {
             seed: 42,
             alpha: f64::NAN,
             solver: None,
+            threads: None,
+            sched: None,
             input: None,
             output: None,
             metrics_out: None,
@@ -143,6 +147,22 @@ impl Opts {
                         other => usage(&format!("unknown solver {other}")),
                     });
                 }
+                "--threads" => {
+                    let t: usize = val("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --threads"));
+                    if t == 0 {
+                        usage("--threads must be positive");
+                    }
+                    o.threads = Some(t);
+                }
+                "--sched" => {
+                    o.sched = Some(match val("--sched").as_str() {
+                        "worksteal" => SchedPolicy::WorkSteal,
+                        "staticchunk" => SchedPolicy::StaticChunk,
+                        other => usage(&format!("unknown sched policy {other}")),
+                    });
+                }
                 "-i" | "--input" => o.input = Some(val("-i")),
                 "-o" | "--output" => o.output = Some(val("-o")),
                 "--metrics-out" => o.metrics_out = Some(val("--metrics-out")),
@@ -161,7 +181,13 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: vm1dp <gen|opt|report|audit|certify> [--profile m0|aes|jpeg|vga] [--arch closedm1|openm1|conv12t]\n\
          \x20            [--scale F] [--seed N] [--alpha F] [--solver dfs|milp|greedy]\n\
+         \x20            [--threads N] [--sched worksteal|staticchunk]\n\
          \x20            [-i FILE] [-o FILE] [--metrics-out FILE(.json|.csv)] [--audit]\n\
+         \n\
+         --threads sets the optimizer's persistent worker pool size and\n\
+         --sched its window scheduling policy; results are bit-identical\n\
+         for every combination (only wall-clock and the scheduler gauges\n\
+         in --metrics-out change).\n\
          \n\
          certify optimizes with the MILP engine in proof-carrying mode: every\n\
          window solve is replayed by the exact-arithmetic certificate checker.\n\
@@ -203,6 +229,17 @@ fn save(design: &Design, opts: &Opts) {
         exit(1);
     });
     println!("wrote {path}");
+}
+
+/// Applies the `--threads` / `--sched` pool options to a config.
+fn apply_parallel(mut cfg: Vm1Config, opts: &Opts) -> Vm1Config {
+    if let Some(t) = opts.threads {
+        cfg = cfg.with_threads(t);
+    }
+    if let Some(s) = opts.sched {
+        cfg = cfg.with_sched(s);
+    }
+    cfg
 }
 
 fn audit_config(opts: &Opts) -> Vm1Config {
@@ -381,6 +418,7 @@ fn cmd_opt(opts: &Opts) {
     if let Some(kind) = opts.solver {
         cfg = cfg.with_solver(kind);
     }
+    cfg = apply_parallel(cfg, opts);
     // Under --audit, MILP window solves run in proof-carrying mode: each
     // one is certified by vm1-certify before the assignment commits.
     cfg = cfg.with_certify(opts.audit);
@@ -435,7 +473,9 @@ fn cmd_certify(opts: &Opts) {
     if !opts.alpha.is_nan() {
         cfg = cfg.with_alpha(opts.alpha);
     }
-    cfg = cfg.with_solver(SolverKind::Milp).with_certify(true);
+    cfg = apply_parallel(cfg, opts)
+        .with_solver(SolverKind::Milp)
+        .with_certify(true);
     let sink = Arc::new(Telemetry::new());
     let stats = Vm1Optimizer::new(cfg)
         .with_metrics(sink.clone())

@@ -1,7 +1,7 @@
 //! Measurement snapshots and Table 2-style reporting.
 
 use vm1_geom::Dbu;
-use vm1_obs::{Counter, MetricsReport, Stage};
+use vm1_obs::{Counter, MetricsReport, SchedGauge, Stage};
 
 /// Metrics of a routed design at one point of the flow — the columns of
 /// the paper's Table 2.
@@ -149,6 +149,15 @@ pub fn format_metrics_summary(r: &MetricsReport) -> String {
             ));
         }
     }
+    if SchedGauge::ALL.iter().any(|&g| r.gauge(g) > 0) {
+        out.push_str("scheduler                  value\n");
+        for g in SchedGauge::ALL {
+            let v = r.gauge(g);
+            if v > 0 {
+                out.push_str(&format!("{:<24} {:>8}\n", g.name(), v));
+            }
+        }
+    }
     if let Some(u) = r.parallel_utilization() {
         out.push_str(&format!("parallel utilization {u:>10.2}\n"));
     }
@@ -263,5 +272,25 @@ mod tests {
         assert!(!text.contains("milp_solve"), "untimed stages are elided");
         assert!(text.contains("trajectory"));
         assert!(text.contains("u0 it1"));
+        assert!(
+            !text.contains("scheduler"),
+            "gauge section is elided when no gauge fired"
+        );
+    }
+
+    #[test]
+    fn metrics_summary_shows_scheduler_gauges() {
+        use vm1_obs::{MetricsSink, Telemetry};
+        let t = Telemetry::new();
+        t.record_gauge(SchedGauge::Steals, 5);
+        t.record_gauge(SchedGauge::TasksExecuted, 40);
+        let text = format_metrics_summary(&t.report());
+        assert!(text.contains("scheduler"));
+        assert!(text.contains("sched_steals"));
+        assert!(text.contains("sched_tasks_executed"));
+        assert!(
+            !text.contains("sched_queue_high_water"),
+            "zero gauges are elided"
+        );
     }
 }

@@ -78,14 +78,27 @@ pub enum Counter {
     WindowsImproved,
     /// Window batches handed to a window solver.
     BatchesSolved,
-    /// Window batches skipped by the smart-selection cache (cache hits).
+    /// Generic cache hits (reserved for caches other than the window
+    /// batch cache; the `DistOpt` smart selection counts under
+    /// [`Counter::BatchCacheHits`]).
     CacheHits,
+    /// Window batches skipped by the smart-selection cache of `DistOpt`
+    /// (the dedicated batch-cache counter; kept separate from
+    /// [`Counter::CacheHits`] so other caches can never pollute the
+    /// `batches_skipped` statistic).
+    BatchCacheHits,
     /// Cells moved or flipped by committed window solutions.
     CellsChanged,
     /// `DistOpt` parallel rounds executed (= diagonal sets processed).
     DistOptRounds,
     /// `DistOpt` passes executed (perturbation and flip passes).
     DistOptPasses,
+    /// Occupancy indexes built from scratch (one per `DistOpt` pass; the
+    /// rounds within a pass patch the index incrementally instead).
+    RowMapBuilds,
+    /// Occupancy-index rows patched incrementally from committed moves
+    /// (instead of rebuilding the whole index).
+    RowMapRowsPatched,
     /// Inner iterations of Algorithm 1 over all parameter sets.
     Iterations,
     /// Parameter sets of the optimization sequence processed.
@@ -115,7 +128,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 29] = [
         Counter::BbNodes,
         Counter::BbNodesPruned,
         Counter::LpSolves,
@@ -129,9 +142,12 @@ impl Counter {
         Counter::WindowsImproved,
         Counter::BatchesSolved,
         Counter::CacheHits,
+        Counter::BatchCacheHits,
         Counter::CellsChanged,
         Counter::DistOptRounds,
         Counter::DistOptPasses,
+        Counter::RowMapBuilds,
+        Counter::RowMapRowsPatched,
         Counter::Iterations,
         Counter::ParamSets,
         Counter::AuditErrors,
@@ -161,9 +177,12 @@ impl Counter {
             Counter::WindowsImproved => "windows_improved",
             Counter::BatchesSolved => "batches_solved",
             Counter::CacheHits => "cache_hits",
+            Counter::BatchCacheHits => "batch_cache_hits",
             Counter::CellsChanged => "cells_changed",
             Counter::DistOptRounds => "distopt_rounds",
             Counter::DistOptPasses => "distopt_passes",
+            Counter::RowMapBuilds => "rowmap_builds",
+            Counter::RowMapRowsPatched => "rowmap_rows_patched",
             Counter::Iterations => "iterations",
             Counter::ParamSets => "param_sets",
             Counter::AuditErrors => "audit_errors",
@@ -250,6 +269,79 @@ impl Stage {
 }
 
 // ---------------------------------------------------------------------------
+// Scheduler gauges
+// ---------------------------------------------------------------------------
+
+/// How a gauge combines concurrent recordings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GaugeAgg {
+    /// Recordings add up (e.g. steal counts).
+    Sum,
+    /// Only the largest recording is kept (e.g. high-water marks).
+    Max,
+}
+
+/// Scheduler observability gauges of the persistent `DistOpt` worker
+/// pool. Unlike [`Counter`] values, gauges are **scheduling-dependent**:
+/// steal counts and per-worker busy times vary run to run and with the
+/// thread count, so they are kept out of the counter determinism
+/// contract (determinism tests compare counters, never gauges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum SchedGauge {
+    /// Largest number of window tasks enqueued for a single round
+    /// (queue-depth high-water mark).
+    QueueHighWater,
+    /// Successful steals of a window task from another worker's deque.
+    Steals,
+    /// Window tasks executed by the pool workers (including the inline
+    /// single-thread path).
+    TasksExecuted,
+    /// Total busy time over all workers, in nanoseconds (time spent
+    /// executing window tasks, excluding queue waits).
+    WorkerBusyNanos,
+    /// Busy time of the single busiest worker in one round, in
+    /// nanoseconds. Compared against `WorkerBusyNanos / threads`, this
+    /// exposes load imbalance: equal values mean one worker did all the
+    /// work, matching values near the mean indicate a balanced round.
+    WorkerBusyMaxNanos,
+}
+
+impl SchedGauge {
+    /// Every gauge, in discriminant order.
+    pub const ALL: [SchedGauge; 5] = [
+        SchedGauge::QueueHighWater,
+        SchedGauge::Steals,
+        SchedGauge::TasksExecuted,
+        SchedGauge::WorkerBusyNanos,
+        SchedGauge::WorkerBusyMaxNanos,
+    ];
+
+    /// Stable snake_case name used as the JSON/CSV key.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedGauge::QueueHighWater => "sched_queue_high_water",
+            SchedGauge::Steals => "sched_steals",
+            SchedGauge::TasksExecuted => "sched_tasks_executed",
+            SchedGauge::WorkerBusyNanos => "sched_worker_busy_ns",
+            SchedGauge::WorkerBusyMaxNanos => "sched_worker_busy_max_ns",
+        }
+    }
+
+    /// How recordings of this gauge combine.
+    #[must_use]
+    pub fn agg(self) -> GaugeAgg {
+        match self {
+            SchedGauge::QueueHighWater | SchedGauge::WorkerBusyMaxNanos => GaugeAgg::Max,
+            SchedGauge::Steals | SchedGauge::TasksExecuted | SchedGauge::WorkerBusyNanos => {
+                GaugeAgg::Sum
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Trajectory
 // ---------------------------------------------------------------------------
 
@@ -292,6 +384,11 @@ pub trait MetricsSink: Send + Sync + fmt::Debug {
     fn record_point(&self, point: TrajectoryPoint) {
         let _ = point;
     }
+    /// Records one scheduler gauge sample (combined per
+    /// [`SchedGauge::agg`]).
+    fn record_gauge(&self, gauge: SchedGauge, value: u64) {
+        let _ = (gauge, value);
+    }
 }
 
 /// A sink that drops everything. Useful as an explicit "instrumented but
@@ -309,6 +406,7 @@ pub struct Telemetry {
     counters: [AtomicU64; Counter::ALL.len()],
     stage_nanos: [AtomicU64; Stage::ALL.len()],
     stage_calls: [AtomicU64; Stage::ALL.len()],
+    gauges: [AtomicU64; SchedGauge::ALL.len()],
     trajectory: Mutex<Vec<TrajectoryPoint>>,
 }
 
@@ -331,6 +429,12 @@ impl Telemetry {
         self.stage_nanos[s as usize].load(Ordering::Relaxed)
     }
 
+    /// Current value of one scheduler gauge.
+    #[must_use]
+    pub fn gauge(&self, g: SchedGauge) -> u64 {
+        self.gauges[g as usize].load(Ordering::Relaxed)
+    }
+
     /// Takes an owned snapshot of everything recorded so far.
     ///
     /// Trajectory points recorded by a thread that panicked mid-push are
@@ -341,6 +445,7 @@ impl Telemetry {
             counters: Counter::ALL.map(|c| self.counter(c)),
             stage_nanos: Stage::ALL.map(|s| self.stage_nanos(s)),
             stage_calls: Stage::ALL.map(|s| self.stage_calls[s as usize].load(Ordering::Relaxed)),
+            gauges: SchedGauge::ALL.map(|g| self.gauge(g)),
             trajectory: self
                 .trajectory
                 .lock()
@@ -365,6 +470,18 @@ impl MetricsSink for Telemetry {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(point);
+    }
+
+    fn record_gauge(&self, gauge: SchedGauge, value: u64) {
+        let cell = &self.gauges[gauge as usize];
+        match gauge.agg() {
+            GaugeAgg::Sum => {
+                cell.fetch_add(value, Ordering::Relaxed);
+            }
+            GaugeAgg::Max => {
+                cell.fetch_max(value, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -443,6 +560,14 @@ impl MetricsHandle {
         }
     }
 
+    /// Records a scheduler gauge sample on every sink.
+    #[inline]
+    pub fn record_gauge(&self, gauge: SchedGauge, value: u64) {
+        for s in self.sinks.iter() {
+            s.record_gauge(gauge, value);
+        }
+    }
+
     /// Runs `f`, charging its wall-clock time to `stage`. When the handle
     /// is disabled no clock is read at all.
     #[inline]
@@ -468,6 +593,7 @@ pub struct MetricsReport {
     counters: [u64; Counter::ALL.len()],
     stage_nanos: [u64; Stage::ALL.len()],
     stage_calls: [u64; Stage::ALL.len()],
+    gauges: [u64; SchedGauge::ALL.len()],
     trajectory: Vec<TrajectoryPoint>,
 }
 
@@ -494,6 +620,13 @@ impl MetricsReport {
     #[must_use]
     pub fn stage_calls(&self, s: Stage) -> u64 {
         self.stage_calls[s as usize]
+    }
+
+    /// Value of one scheduler gauge. Gauges are scheduling-dependent (see
+    /// [`SchedGauge`]) and excluded from counter determinism comparisons.
+    #[must_use]
+    pub fn gauge(&self, g: SchedGauge) -> u64 {
+        self.gauges[g as usize]
     }
 
     /// The recorded objective trajectory, in recording order.
@@ -539,6 +672,13 @@ impl MetricsReport {
                 self.stage_calls(*s)
             ));
         }
+        out.push_str("\n  },\n  \"scheduler\": {");
+        for (i, g) in SchedGauge::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", g.name(), self.gauge(*g)));
+        }
         out.push_str("\n  },\n  \"parallel_utilization\": ");
         match self.parallel_utilization() {
             Some(u) => out.push_str(&json_f64(u)),
@@ -575,6 +715,9 @@ impl MetricsReport {
         }
         for s in Stage::ALL {
             out.push_str(&format!("{}_ms,{}\n", s.name(), json_f64(self.stage_ms(s))));
+        }
+        for g in SchedGauge::ALL {
+            out.push_str(&format!("{},{}\n", g.name(), self.gauge(g)));
         }
         out
     }
@@ -674,6 +817,9 @@ mod tests {
         for s in Stage::ALL {
             assert!(json.contains(&format!("\"{}\"", s.name())), "{}", s.name());
         }
+        for g in SchedGauge::ALL {
+            assert!(json.contains(&format!("\"{}\"", g.name())), "{}", g.name());
+        }
         assert!(json.contains("\"bb_nodes\": 12"));
         assert!(json.contains("\"objective\": 123.25"));
         // Balanced braces/brackets (cheap well-formedness check).
@@ -686,7 +832,10 @@ mod tests {
         let t = Telemetry::new();
         let csv = t.report().to_csv();
         let lines = csv.lines().count();
-        assert_eq!(lines, 1 + Counter::ALL.len() + Stage::ALL.len());
+        assert_eq!(
+            lines,
+            1 + Counter::ALL.len() + Stage::ALL.len() + SchedGauge::ALL.len()
+        );
         assert!(csv.starts_with("metric,value\n"));
     }
 
@@ -705,5 +854,25 @@ mod tests {
         for (i, s) in Stage::ALL.iter().enumerate() {
             assert_eq!(*s as usize, i);
         }
+        for (i, g) in SchedGauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+    }
+
+    #[test]
+    fn gauges_aggregate_by_kind() {
+        let t = Arc::new(Telemetry::new());
+        let h = MetricsHandle::of(t.clone());
+        // Sum gauge: recordings add up.
+        h.record_gauge(SchedGauge::Steals, 3);
+        h.record_gauge(SchedGauge::Steals, 4);
+        // Max gauge: only the high-water mark survives.
+        h.record_gauge(SchedGauge::QueueHighWater, 9);
+        h.record_gauge(SchedGauge::QueueHighWater, 5);
+        let r = t.report();
+        assert_eq!(r.gauge(SchedGauge::Steals), 7);
+        assert_eq!(r.gauge(SchedGauge::QueueHighWater), 9);
+        assert!(r.to_json().contains("\"sched_steals\": 7"));
+        assert!(r.to_csv().contains("sched_queue_high_water,9\n"));
     }
 }

@@ -37,7 +37,7 @@ pub use abacus::legalize_abacus;
 pub use global::{place, scatter, PlaceConfig};
 pub use legalize::legalize;
 pub use refine::{greedy_refine, RefineStats};
-pub use rowmap::RowMap;
+pub use rowmap::{RowMap, SpanMove};
 pub use verify::{
     verify_against, verify_placement, DisplacementBounds, PlacementSnapshot, PlacementViolation,
     VerifyReport,

@@ -1,5 +1,23 @@
 use vm1_netlist::{Design, InstId};
 
+/// One committed positional move, as needed to patch a [`RowMap`]
+/// incrementally: the instance, the row it came from and the span it now
+/// occupies. Orientation-only changes (flips) never alter a cell's span
+/// and must not be turned into `SpanMove`s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanMove {
+    /// The moved instance.
+    pub inst: InstId,
+    /// Row the instance occupied before the move.
+    pub old_row: i64,
+    /// Row the instance occupies now.
+    pub new_row: i64,
+    /// First occupied site after the move.
+    pub new_start: i64,
+    /// One past the last occupied site after the move.
+    pub new_end: i64,
+}
+
 /// Per-row occupancy index over placement sites.
 ///
 /// Maintains, for every row, the sorted list of occupied `[start, end)`
@@ -76,14 +94,26 @@ impl RowMap {
     /// Instances whose spans intersect `[start, end)` of `row`.
     #[must_use]
     pub fn occupants(&self, row: i64, start: i64, end: i64) -> Vec<InstId> {
+        let mut out = Vec::new();
+        self.occupants_into(row, start, end, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RowMap::occupants`]: clears `out` and
+    /// fills it with the instances whose spans intersect `[start, end)` of
+    /// `row`. Lets hot callers (window-problem construction) reuse one
+    /// buffer across windows.
+    pub fn occupants_into(&self, row: i64, start: i64, end: i64, out: &mut Vec<InstId>) {
+        out.clear();
         if row < 0 || row as usize >= self.rows.len() {
-            return Vec::new();
+            return;
         }
-        self.rows[row as usize]
-            .iter()
-            .filter(|&&(s, e, _)| e > start && s < end)
-            .map(|&(_, _, id)| id)
-            .collect()
+        out.extend(
+            self.rows[row as usize]
+                .iter()
+                .filter(|&&(s, e, _)| e > start && s < end)
+                .map(|&(_, _, id)| id),
+        );
     }
 
     /// Removes an instance's span from the index.
@@ -104,6 +134,36 @@ impl RowMap {
     pub fn relocate(&mut self, inst: InstId, old_row: i64, row: i64, start: i64, end: i64) {
         self.remove(old_row, inst);
         self.insert(row, start, end, inst);
+    }
+
+    /// Applies a batch of committed positional moves to the index instead
+    /// of rebuilding it from the whole design. Returns the number of
+    /// *distinct* rows touched (the incremental work done, surfaced as the
+    /// `rowmap_rows_patched` counter).
+    ///
+    /// The moves must be exactly the positional changes committed since
+    /// the index was last consistent — recording unchanged cells or flips
+    /// as moves would double-count rows, which is why the commit loop
+    /// skips them.
+    pub fn patch_moves(&mut self, moves: &[SpanMove]) -> usize {
+        let mut touched: Vec<i64> = Vec::with_capacity(moves.len() * 2);
+        for m in moves {
+            self.relocate(m.inst, m.old_row, m.new_row, m.new_start, m.new_end);
+            touched.push(m.old_row);
+            touched.push(m.new_row);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched.len()
+    }
+
+    /// Whether the index matches the design's current placement exactly
+    /// (same spans, same order). Intended for `debug_assert!` checks after
+    /// incremental patching.
+    #[must_use]
+    pub fn consistent_with(&self, design: &Design) -> bool {
+        let fresh = RowMap::build(design);
+        self.sites_per_row == fresh.sites_per_row && self.rows == fresh.rows
     }
 
     /// Number of rows indexed.
@@ -174,5 +234,57 @@ mod tests {
         assert!(!m.is_free(1, 5, 9, None));
         assert_eq!(m.free_sites(0), 36);
         assert_eq!(m.free_sites(1), 36);
+    }
+
+    #[test]
+    fn occupants_into_reuses_buffer() {
+        let d = design_with(&[(0, 0), (10, 0)]);
+        let m = RowMap::build(&d);
+        let mut buf = vec![InstId(99)]; // stale content must be cleared
+        m.occupants_into(0, 2, 11, &mut buf);
+        assert_eq!(buf, vec![InstId(0), InstId(1)]);
+        m.occupants_into(0, 4, 10, &mut buf);
+        assert!(buf.is_empty());
+        m.occupants_into(-1, 0, 40, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn patch_moves_matches_full_rebuild() {
+        let mut d = design_with(&[(0, 0), (10, 0), (0, 1)]);
+        let mut m = RowMap::build(&d);
+        assert!(m.consistent_with(&d));
+        // Commit two moves on the design and patch the index with them.
+        d.move_inst(InstId(0), 20, 2, vm1_geom::Orient::North);
+        d.move_inst(InstId(2), 6, 1, vm1_geom::Orient::FlippedNorth);
+        let rows = m.patch_moves(&[
+            SpanMove {
+                inst: InstId(0),
+                old_row: 0,
+                new_row: 2,
+                new_start: 20,
+                new_end: 24,
+            },
+            SpanMove {
+                inst: InstId(2),
+                old_row: 1,
+                new_row: 1,
+                new_start: 6,
+                new_end: 10,
+            },
+        ]);
+        assert_eq!(rows, 3, "distinct rows 0, 1, 2");
+        assert!(m.consistent_with(&d));
+        // A flip does not change any span: nothing to patch.
+        d.move_inst(InstId(1), 10, 0, vm1_geom::Orient::FlippedNorth);
+        assert!(m.consistent_with(&d));
+    }
+
+    #[test]
+    fn consistent_with_detects_drift() {
+        let d = design_with(&[(0, 0)]);
+        let mut m = RowMap::build(&d);
+        m.relocate(InstId(0), 0, 1, 0, 4);
+        assert!(!m.consistent_with(&d));
     }
 }

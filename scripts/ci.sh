@@ -38,6 +38,31 @@ cargo run --release -q -p vm1-flow --bin vm1dp -- \
 cargo run --release -q -p vm1-flow --bin vm1dp -- \
     audit -i "$smoke_dir/smoke_opt.def"
 
+echo "== determinism: vm1dp opt bit-identical across thread counts =="
+# The scheduler contract: placements and every telemetry counter are
+# invariant under --threads/--sched; only stage times and the scheduler
+# gauges may differ. Diff the counter sections of two runs.
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    gen --profile m0 --scale 0.05 --seed 11 -o "$smoke_dir/det.def"
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    opt -i "$smoke_dir/det.def" -o "$smoke_dir/det_t1.def" \
+    --threads 1 --metrics-out "$smoke_dir/det_t1.csv" > /dev/null
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    opt -i "$smoke_dir/det.def" -o "$smoke_dir/det_t8.def" \
+    --threads 8 --sched worksteal --metrics-out "$smoke_dir/det_t8.csv" > /dev/null
+cargo run --release -q -p vm1-flow --bin vm1dp -- \
+    opt -i "$smoke_dir/det.def" -o "$smoke_dir/det_t8s.def" \
+    --threads 8 --sched staticchunk --metrics-out "$smoke_dir/det_t8s.csv" > /dev/null
+diff "$smoke_dir/det_t1.def" "$smoke_dir/det_t8.def"
+diff "$smoke_dir/det_t1.def" "$smoke_dir/det_t8s.def"
+# The CSV is "name,value" lines: stage times end in "_ms" and scheduler
+# gauges start with "sched_" — both legitimately run-dependent; every
+# remaining line is a deterministic counter.
+counters() { grep -Ev '(_ms,|^sched_)' "$1"; }
+diff <(counters "$smoke_dir/det_t1.csv") <(counters "$smoke_dir/det_t8.csv")
+diff <(counters "$smoke_dir/det_t1.csv") <(counters "$smoke_dir/det_t8s.csv")
+echo "determinism OK"
+
 echo "== certify: proof-carrying MILP solves on a generated micro design =="
 # Under --audit every branch-and-bound window solve records an
 # optimality certificate that the exact-rational checker (vm1-certify)
