@@ -1,0 +1,123 @@
+//! CLI front end for the vm1-analyze lint pack.
+//!
+//! ```text
+//! vm1-analyze [--root DIR] [--format text|json] \
+//!             [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
+//! Exit codes: 0 clean; 1 unwaived findings or baseline mismatch;
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: vm1-analyze [--root DIR] [--format text|json] \
+     [--baseline FILE] [--write-baseline FILE]"
+        .to_string()
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        json: false,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut need = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match a.as_str() {
+            "--root" => opts.root = PathBuf::from(need("--root")?),
+            "--format" => {
+                opts.json = match need("--format")?.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown format `{other}`\n{}", usage())),
+                }
+            }
+            "--baseline" => opts.baseline = Some(PathBuf::from(need("--baseline")?)),
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(need("--write-baseline")?));
+            }
+            "-h" | "--help" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match vm1_analyze::analyze_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vm1-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.write_baseline {
+        let mut text = String::from(
+            "# vm1-analyze waiver baseline: rule|file|reason for every waived finding.\n\
+             # Regenerate with: cargo run -p vm1-analyze -- --write-baseline scripts/analyze-baseline.txt\n",
+        );
+        for l in report.baseline_lines() {
+            text.push_str(&l);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("vm1-analyze: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!(
+        "{}",
+        if opts.json {
+            report.to_json()
+        } else {
+            report.to_text()
+        }
+    );
+    let mut failed = report.unwaived().count() > 0;
+    if let Some(path) = &opts.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(pinned) => {
+                let (missing, unexpected) = report.diff_baseline(&pinned);
+                for l in &missing {
+                    eprintln!("vm1-analyze: baseline entry no longer produced (stale): {l}");
+                }
+                for l in &unexpected {
+                    eprintln!("vm1-analyze: waiver not in baseline (add it deliberately): {l}");
+                }
+                failed = failed || !missing.is_empty() || !unexpected.is_empty();
+            }
+            Err(e) => {
+                eprintln!("vm1-analyze: read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

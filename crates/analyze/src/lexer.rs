@@ -1,0 +1,416 @@
+//! Hand-rolled Rust lexer for the determinism lint pack.
+//!
+//! Produces a flat token stream with line numbers, plus the waiver
+//! comments the rule pack honours. The lexer understands exactly as much
+//! Rust as the rules need: line/block comments (nested), string, raw
+//! string, byte string and char literals, lifetimes, numeric literals
+//! including negative exponents (`1e-6`), identifiers, and single-char
+//! punctuation. Multi-character operators arrive as consecutive
+//! punctuation tokens (`::` is `:` `:`), which the rules match
+//! positionally.
+//!
+//! Comment and literal *content* never reaches the token stream, so a
+//! doc comment mentioning `HashMap` or a panic message containing
+//! `panic!(` cannot trip a rule.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `for`, `HashMap`, ...).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Numeric literal (one token even for `1.5e-7`).
+    Num,
+    /// String, raw string, or byte-string literal (content dropped).
+    Str,
+    /// Char or byte-char literal (content dropped).
+    Char,
+    /// Lifetime (`'a`), without the quote.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Token text. Empty for [`TokKind::Str`] / [`TokKind::Char`].
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Which waiver grammar a comment used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaiverKind {
+    /// `// analyze: nondeterministic-ok(<reason>)` — waives D1/D2/D3.
+    AnalyzeOk,
+    /// `// lint: allow(<reason>)` — waives the ported D5 line checks.
+    LintAllow,
+}
+
+/// A waiver comment found during lexing.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Grammar the waiver used.
+    pub kind: WaiverKind,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The `<reason>` text between the parentheses.
+    pub reason: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literal content stripped.
+    pub toks: Vec<Tok>,
+    /// Waiver comments, in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Extracts `(<reason>)` following `marker` inside a comment body, if
+/// present. Nested parentheses inside the reason are balanced.
+fn waiver_reason(body: &str, marker: &str) -> Option<String> {
+    let at = body.find(marker)?;
+    let rest = &body[at + marker.len()..];
+    let mut depth = 1usize;
+    let mut out = String::new();
+    for c in rest.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                out.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(out.trim().to_string());
+                }
+                out.push(c);
+            }
+            _ => out.push(c),
+        }
+    }
+    // Unclosed: take the rest of the line as the reason.
+    Some(out.trim().to_string())
+}
+
+/// Lexes `src` into tokens and waiver comments.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let body = &src[start..i];
+                // Doc comments (`///`, `//!`) are documentation text, not
+                // waivers: only a plain `//` comment can waive.
+                let is_doc = body.starts_with("///") || body.starts_with("//!");
+                if !is_doc {
+                    if let Some(reason) = waiver_reason(body, "analyze: nondeterministic-ok(") {
+                        out.waivers.push(Waiver {
+                            kind: WaiverKind::AnalyzeOk,
+                            line,
+                            reason,
+                        });
+                    } else if let Some(reason) = waiver_reason(body, "lint: allow(") {
+                        out.waivers.push(Waiver {
+                            kind: WaiverKind::LintAllow,
+                            line,
+                            reason,
+                        });
+                    }
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'a` followed by a non-quote
+                // is a lifetime; everything else is a char literal.
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && !(i + 2 < b.len() && b[i + 2] == b'\'');
+                if is_lifetime {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    let tok_line = line;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        // Negative/positive exponent: `1e-6`, `2.5E+3`.
+                        if (d == b'e' || d == b'E')
+                            && i + 2 < b.len()
+                            && (b[i + 1] == b'-' || b[i + 1] == b'+')
+                            && b[i + 2].is_ascii_digit()
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    } else if d == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                        // `1.5` but not the range `1..n`.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br"..".
+                if i < b.len() && matches!(text, "r" | "b" | "br" | "rb") {
+                    let raw = text.contains('r');
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    if raw {
+                        while j < b.len() && b[j] == b'#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                    }
+                    if j < b.len() && b[j] == b'"' {
+                        let tok_line = line;
+                        j += 1;
+                        if raw {
+                            // Scan for `"` + hashes `#`s, tracking lines.
+                            'raw: while j < b.len() {
+                                if b[j] == b'\n' {
+                                    line += 1;
+                                } else if b[j] == b'"' {
+                                    let mut k = 0usize;
+                                    while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#'
+                                    {
+                                        k += 1;
+                                    }
+                                    if k == hashes {
+                                        j += 1 + hashes;
+                                        break 'raw;
+                                    }
+                                }
+                                j += 1;
+                            }
+                        } else {
+                            while j < b.len() {
+                                match b[j] {
+                                    b'\\' => j += 2,
+                                    b'\n' => {
+                                        line += 1;
+                                        j += 1;
+                                    }
+                                    b'"' => {
+                                        j += 1;
+                                        break;
+                                    }
+                                    _ => j += 1,
+                                }
+                            }
+                        }
+                        i = j;
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line: tok_line,
+                        });
+                        continue;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: text.to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_literals() {
+        let l = lex("let x = \"HashMap.iter()\"; // HashMap\n/* Instant */ y");
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+        assert!(l.waivers.is_empty());
+    }
+
+    #[test]
+    fn captures_waivers_with_reasons() {
+        let l = lex(concat!(
+            "a(); // analyze: nondeterministic-ok(order is logged only)\n",
+            "b(); // lint: allow(documented `# Panics` contract)\n",
+            "/// doc text: `// lint: allow(not a waiver)`\n",
+        ));
+        assert_eq!(l.waivers.len(), 2);
+        assert_eq!(l.waivers[0].kind, WaiverKind::AnalyzeOk);
+        assert_eq!(l.waivers[0].line, 1);
+        assert_eq!(l.waivers[0].reason, "order is logged only");
+        assert_eq!(l.waivers[1].kind, WaiverKind::LintAllow);
+        assert_eq!(l.waivers[1].reason, "documented `# Panics` contract");
+    }
+
+    #[test]
+    fn numbers_keep_negative_exponents_whole() {
+        let l = lex("let t = 1.5e-7; let r = 0..n;");
+        let nums: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5e-7", "0"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_distinguished() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_swallow_contents() {
+        let l = lex("let s = r#\"panic!( \" inner \"#; z");
+        assert!(l.toks.iter().any(|t| t.is_ident("z")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let l = lex("a\n\"two\nline\"\nb");
+        let bt = l.toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(bt, Some(4));
+    }
+}

@@ -1,0 +1,541 @@
+//! vm1-analyze: in-tree static analyzer for the vm1dp workspace.
+//!
+//! A dependency-free lint pack that walks every workspace library source
+//! (`crates/*/src/**/*.rs`, excluding the offline dev-dependency shims
+//! and `src/bin/` CLI front ends) and enforces the determinism and
+//! concurrency rules the solver stack's bit-identical-output contract
+//! rests on. See [`rules`] for the rule catalogue (D1-D5) and DESIGN.md
+//! §10 for the rationale.
+//!
+//! The analyzer lexes Rust with a hand-rolled token stream ([`lexer`]) —
+//! no `syn`, no proc-macro machinery — so it builds offline in
+//! milliseconds and is itself subject to the rules it enforces (the
+//! workspace scan includes `crates/analyze/src`).
+//!
+//! # Waivers and the baseline
+//!
+//! A finding of D1/D2/D3 may be waived with
+//! `// analyze: nondeterministic-ok(<reason>)` on the same line, the
+//! line above, or above the enclosing `fn` (whole-body waiver); the
+//! ported D5 line checks keep their historical
+//! `// lint: allow(<reason>)` grammar. D4 (mutex discipline) is not
+//! waivable. Every waived finding is inventoried as a `rule|file|reason`
+//! line; CI pins that inventory to `scripts/analyze-baseline.txt` so a
+//! new waiver is a reviewed diff, never a silent drift. A waiver that
+//! suppresses nothing is itself a finding.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::FileCtx;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Solver/session result types that must carry a struct-level
+/// `#[must_use]` (ported `scripts/lint` check 2).
+const MUST_USE_TYPES: &[(&str, &str)] = &[
+    ("crates/core/src/session.rs", "OptStats"),
+    ("crates/core/src/distopt.rs", "DistOptStats"),
+    ("crates/core/src/objective.rs", "Objective"),
+    ("crates/core/src/audit.rs", "DesignAuditReport"),
+    ("crates/place/src/refine.rs", "RefineStats"),
+    ("crates/place/src/verify.rs", "VerifyReport"),
+    ("crates/milp/src/audit.rs", "AuditReport"),
+    ("crates/milp/src/branch.rs", "MilpSolution"),
+    ("crates/milp/src/branch.rs", "CertifiedSolution"),
+    ("crates/milp/src/cert.rs", "Certificate"),
+    ("crates/certify/src/check.rs", "CheckReport"),
+    ("crates/obs/src/lib.rs", "MetricsReport"),
+];
+
+/// Crate directories that are offline shims of external dev-deps, not
+/// product code: excluded from the scan.
+const SHIM_CRATES: &[&str] = &["proptest", "criterion"];
+
+/// The rule a finding belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: iteration over an unordered container.
+    NondetIter,
+    /// D2: clock read outside the timer module.
+    ClockRead,
+    /// D3: float accumulation over an unordered container.
+    FloatAccum,
+    /// D4: mutex discipline (bare lock unwrap / guard across send).
+    LockDiscipline,
+    /// D5: `unwrap`/`expect`/`panic!` in library code.
+    Unwrap,
+    /// D5: missing struct-level `#[must_use]` on a result type.
+    MustUse,
+    /// D5: manifest policy (unsafe forbid, `[lints] workspace = true`).
+    Manifest,
+    /// D5: raw float tolerance / f64 equality in solver or checker.
+    FloatTol,
+    /// W0: a waiver comment that suppresses no finding.
+    UnusedWaiver,
+}
+
+impl Rule {
+    /// Stable rule identifier used in reports and the baseline.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NondetIter => "D1-nondet-iter",
+            Rule::ClockRead => "D2-clock-read",
+            Rule::FloatAccum => "D3-float-accum",
+            Rule::LockDiscipline => "D4-lock-discipline",
+            Rule::Unwrap => "D5-unwrap",
+            Rule::MustUse => "D5-must-use",
+            Rule::Manifest => "D5-manifest",
+            Rule::FloatTol => "D5-float-tol",
+            Rule::UnusedWaiver => "W0-unused-waiver",
+        }
+    }
+
+    /// Whether a waiver comment can suppress this rule.
+    #[must_use]
+    pub fn waivable(self) -> bool {
+        matches!(
+            self,
+            Rule::NondetIter | Rule::ClockRead | Rule::FloatAccum | Rule::Unwrap | Rule::FloatTol
+        )
+    }
+
+    /// The waiver grammar that applies to this rule.
+    #[must_use]
+    pub fn waiver_kind(self) -> lexer::WaiverKind {
+        match self {
+            Rule::NondetIter | Rule::ClockRead | Rule::FloatAccum => lexer::WaiverKind::AnalyzeOk,
+            _ => lexer::WaiverKind::LintAllow,
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Repo-relative file (`/` separators); `Cargo.toml` for manifest
+    /// findings.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: u32,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// True when a waiver comment suppressed the finding.
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub reason: Option<String>,
+}
+
+/// Error walking or reading the workspace.
+#[derive(Debug)]
+pub struct AnalyzeError {
+    msg: String,
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl AnalyzeError {
+    fn new(msg: impl Into<String>) -> AnalyzeError {
+        AnalyzeError { msg: msg.into() }
+    }
+}
+
+/// The full result of an analyzer run.
+#[must_use]
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding (waived and not), sorted by file, line, rule.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not suppressed by a waiver — each one fails the gate.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Findings suppressed by a waiver (the baseline inventory).
+    pub fn waived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived)
+    }
+
+    /// The waived-finding inventory as sorted, deduplicated
+    /// `rule|file|reason` lines (line numbers are deliberately omitted
+    /// so unrelated edits don't churn the baseline).
+    #[must_use]
+    pub fn baseline_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .waived()
+            .map(|f| {
+                format!(
+                    "{}|{}|{}",
+                    f.rule.id(),
+                    f.file,
+                    f.reason.as_deref().unwrap_or("")
+                )
+            })
+            .collect();
+        lines.sort();
+        lines.dedup();
+        lines
+    }
+
+    /// Compares the waived inventory against baseline text. Returns
+    /// `(missing, unexpected)`: baseline lines no longer produced, and
+    /// produced lines absent from the baseline. Both must be empty for
+    /// the gate to pass.
+    #[must_use]
+    pub fn diff_baseline(&self, baseline: &str) -> (Vec<String>, Vec<String>) {
+        let current = self.baseline_lines();
+        let pinned: Vec<&str> = baseline
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        let missing = pinned
+            .iter()
+            .filter(|l| !current.iter().any(|c| c == *l))
+            .map(|l| (*l).to_string())
+            .collect();
+        let unexpected = current
+            .iter()
+            .filter(|c| !pinned.contains(&c.as_str()))
+            .cloned()
+            .collect();
+        (missing, unexpected)
+    }
+
+    /// Human-readable report.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for f in self.unwaived() {
+            let _ = writeln!(s, "{}:{}: [{}] {}", f.file, f.line, f.rule.id(), f.message);
+        }
+        let _ = writeln!(
+            s,
+            "analyze: {} file(s), {} finding(s), {} waived",
+            self.files_scanned,
+            self.unwaived().count(),
+            self.waived().count()
+        );
+        s
+    }
+
+    /// Machine-readable JSON report (hand-rolled; no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"waived\": {}, \"reason\": {}}}",
+                if i == 0 { "" } else { "," },
+                f.rule.id(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message),
+                f.waived,
+                f.reason
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), |r| format!("\"{}\"", json_escape(r)))
+            );
+        }
+        let _ = write!(
+            s,
+            "\n  ],\n  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \"waived\": {}}}\n}}\n",
+            self.files_scanned,
+            self.unwaived().count(),
+            self.waived().count()
+        );
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Analyzes one file's source text under the repo-relative label
+/// `file`. Exposed for the fixture tests; [`analyze_workspace`] calls it
+/// for every scanned file.
+#[must_use]
+pub fn analyze_source(file: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let ctx = FileCtx {
+        file,
+        toks: &lexed.toks,
+        waivers: &lexed.waivers,
+    };
+    let mut findings = rules::scan_file(&ctx);
+    let extra = rules::apply_waivers(&ctx, &mut findings);
+    findings.extend(extra);
+    findings.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    findings
+}
+
+/// Runs the full analyzer on the workspace rooted at `root` (the
+/// directory holding the top-level `Cargo.toml` and `crates/`).
+///
+/// # Errors
+///
+/// Fails when `root` is not a workspace root or a source file cannot be
+/// read.
+pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(AnalyzeError::new(format!(
+            "{} is not a workspace root (no crates/ directory)",
+            root.display()
+        )));
+    }
+    let mut report = Report::default();
+    for file in scan_set(&crates_dir)? {
+        let rel = rel_label(root, &file);
+        let src = fs::read_to_string(&file)
+            .map_err(|e| AnalyzeError::new(format!("read {}: {e}", file.display())))?;
+        report.findings.extend(analyze_source(&rel, &src));
+        report.files_scanned += 1;
+    }
+    check_must_use(root, &mut report.findings);
+    check_manifests(root, &mut report.findings)?;
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    Ok(report)
+}
+
+/// The library sources in scope, sorted for a deterministic report:
+/// `crates/*/src/**/*.rs` minus the shim crates and `src/bin/`.
+fn scan_set(crates_dir: &Path) -> Result<Vec<PathBuf>, AnalyzeError> {
+    let mut files = Vec::new();
+    for krate in sorted_dir(crates_dir)? {
+        let name = file_name(&krate);
+        if !krate.is_dir() || SHIM_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        let src = krate.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalyzeError> {
+    for entry in sorted_dir(dir)? {
+        let name = file_name(&entry);
+        if entry.is_dir() {
+            // CLI front ends under src/bin/ may exit loudly; they are
+            // out of library scope (matches the original scripts/lint).
+            if name != "bin" {
+                walk_rs(&entry, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// `read_dir` yields OS-dependent order; sort so the analyzer obeys its
+/// own rule D1.
+fn sorted_dir(dir: &Path) -> Result<Vec<PathBuf>, AnalyzeError> {
+    let rd = fs::read_dir(dir)
+        .map_err(|e| AnalyzeError::new(format!("read_dir {}: {e}", dir.display())))?;
+    let mut entries = Vec::new();
+    for e in rd {
+        let e = e.map_err(|e| AnalyzeError::new(format!("read_dir {}: {e}", dir.display())))?;
+        entries.push(e.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn file_name(p: &Path) -> String {
+    p.file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned())
+}
+
+fn rel_label(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Ported `scripts/lint` check 2: result types carry `#[must_use]`.
+fn check_must_use(root: &Path, out: &mut Vec<Finding>) {
+    for (file, ty) in MUST_USE_TYPES {
+        let Ok(src) = fs::read_to_string(root.join(file)) else {
+            out.push(Finding {
+                rule: Rule::MustUse,
+                file: (*file).to_string(),
+                line: 0,
+                message: format!(
+                    "expected `pub struct {ty}` here (update the table in vm1-analyze)"
+                ),
+                waived: false,
+                reason: None,
+            });
+            continue;
+        };
+        let decl = format!("pub struct {ty}");
+        let lines: Vec<&str> = src.lines().collect();
+        let Some(at) = lines.iter().position(|l| {
+            l.starts_with(&decl)
+                && l[decl.len()..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+        }) else {
+            out.push(Finding {
+                rule: Rule::MustUse,
+                file: (*file).to_string(),
+                line: 0,
+                message: format!(
+                    "expected `pub struct {ty}` here (update the table in vm1-analyze)"
+                ),
+                waived: false,
+                reason: None,
+            });
+            continue;
+        };
+        let lookback = at.saturating_sub(6);
+        if !lines[lookback..at].iter().any(|l| l.contains("#[must_use")) {
+            out.push(Finding {
+                rule: Rule::MustUse,
+                file: (*file).to_string(),
+                line: u32::try_from(at + 1).unwrap_or(u32::MAX),
+                message: format!("`pub struct {ty}` lacks a struct-level #[must_use]"),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// Ported `scripts/lint` check 3: unsafe forbidden at the workspace
+/// root and `[lints] workspace = true` in every member manifest.
+fn check_manifests(root: &Path, out: &mut Vec<Finding>) -> Result<(), AnalyzeError> {
+    let root_toml = root.join("Cargo.toml");
+    let src = fs::read_to_string(&root_toml)
+        .map_err(|e| AnalyzeError::new(format!("read {}: {e}", root_toml.display())))?;
+    if !src
+        .lines()
+        .any(|l| l.contains("unsafe_code") && l.contains("\"forbid\""))
+    {
+        out.push(Finding {
+            rule: Rule::Manifest,
+            file: "Cargo.toml".to_string(),
+            line: 0,
+            message: "root Cargo.toml must forbid unsafe_code under [workspace.lints.rust]"
+                .to_string(),
+            waived: false,
+            reason: None,
+        });
+    }
+    for krate in sorted_dir(&root.join("crates"))? {
+        if !krate.is_dir() {
+            continue;
+        }
+        let manifest = krate.join("Cargo.toml");
+        let Ok(m) = fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let mut ok = false;
+        let mut in_lints = false;
+        for l in m.lines() {
+            let l = l.trim();
+            if l.starts_with('[') {
+                in_lints = l == "[lints]";
+            } else if in_lints && l.starts_with("workspace") && l.contains("true") {
+                ok = true;
+            }
+        }
+        if !ok {
+            out.push(Finding {
+                rule: Rule::Manifest,
+                file: rel_label(root, &manifest),
+                line: 0,
+                message:
+                    "manifest does not inherit [workspace.lints] (add `[lints] workspace = true`)"
+                        .to_string(),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_diff_detects_both_directions() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: Rule::Unwrap,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "m".into(),
+            waived: true,
+            reason: Some("documented".into()),
+        });
+        let (missing, unexpected) =
+            r.diff_baseline("# comment\nD5-unwrap|crates/x/src/lib.rs|documented\n");
+        assert!(missing.is_empty() && unexpected.is_empty());
+        let (missing, unexpected) = r.diff_baseline("D5-unwrap|crates/gone/src/lib.rs|old\n");
+        assert_eq!(missing.len(), 1);
+        assert_eq!(unexpected.len(), 1);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: Rule::ClockRead,
+                file: "a\"b.rs".into(),
+                line: 1,
+                message: "quote \" and backslash \\".into(),
+                waived: false,
+                reason: None,
+            }],
+            files_scanned: 1,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"rule\": \"D2-clock-read\""));
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("\"files_scanned\": 1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -1,0 +1,965 @@
+//! The determinism & concurrency rule pack (D1-D5).
+//!
+//! All source rules run over the token stream of [`crate::lexer`]; the
+//! manifest and `#[must_use]` checks (part of D5) run over raw file text
+//! in the `lib.rs` driver, which also applies waivers and assembles the
+//! report. Each rule reports [`Finding`]s.
+//!
+//! # Rules
+//!
+//! * **D1 `nondet-iter`** — iteration over a `HashMap`/`HashSet`
+//!   (for-loops and `iter`/`keys`/`values`/`drain`/`into_iter`/... calls
+//!   on roots the file declares as unordered). Hash iteration order is
+//!   seeded per map instance, so any path from it to output, error text,
+//!   or accumulated floats is a nondeterminism bug. Waivable with
+//!   `// analyze: nondeterministic-ok(<reason>)`.
+//! * **D2 `clock-read`** — `Instant`/`SystemTime`/`std::time` reads
+//!   outside the sanctioned timer module (`crates/obs/src/timer.rs`).
+//!   `std::time::Duration` (a pure value type) is allowed anywhere.
+//! * **D3 `float-accum`** — `sum()`/`fold()` at the end of an iterator
+//!   chain rooted at an unordered container: float addition is not
+//!   associative, so the result depends on hash order.
+//! * **D4 `lock-discipline`** — `.lock().unwrap()`/`.lock().expect(...)`
+//!   anywhere (poisoning must be handled explicitly; **not waivable**),
+//!   and, in scheduler sources (`sched.rs`), a lock guard held across a
+//!   channel/telemetry send (`send`/`try_send`/`record_*`).
+//! * **D5** — the ported `scripts/lint` checks: `unwrap`/`expect`/
+//!   `panic!` in library code (`D5 unwrap`), raw float tolerances and
+//!   f64 equality in solver/checker code (`D5 float-tol`), plus the
+//!   manifest and `#[must_use]` checks in `lib.rs`.
+
+use crate::lexer::{Tok, TokKind, Waiver};
+use crate::{Finding, Rule};
+use std::collections::BTreeSet;
+
+/// Iterator-producing methods on unordered containers (rule D1).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Order-sensitive accumulators (rule D3).
+const ACCUM_METHODS: &[&str] = &["sum", "fold"];
+
+/// Calls that hand data to another thread or the telemetry fan-out; a
+/// lock guard must not be live across them in scheduler code (rule D4).
+const SEND_METHODS: &[&str] = &[
+    "send",
+    "try_send",
+    "record_counter",
+    "record_gauge",
+    "record_time",
+    "record_point",
+];
+
+/// Everything the source rules know about one file.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with `/` separators.
+    pub file: &'a str,
+    /// Token stream of the file.
+    pub toks: &'a [Tok],
+    /// Waiver comments of the file.
+    pub waivers: &'a [Waiver],
+}
+
+/// A `fn` item with a brace-delimited body.
+struct FnSpan {
+    /// Line of the `fn` keyword.
+    decl_line: u32,
+    /// First line of the body.
+    body_start: u32,
+    /// Last line of the body.
+    body_end: u32,
+}
+
+/// Runs every token-level rule on one file and returns raw findings
+/// (waivers not yet applied).
+pub fn scan_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let limit = test_region_start(ctx.toks);
+    let toks = &ctx.toks[..limit];
+    let mut out = Vec::new();
+    let (locals, fields) = collect_unordered(toks);
+    scan_iteration(ctx.file, toks, &locals, &fields, &mut out);
+    if !ctx.file.ends_with("crates/obs/src/timer.rs") {
+        scan_clock_reads(ctx.file, toks, &mut out);
+    }
+    scan_lock_unwrap(ctx.file, toks, &mut out);
+    if ctx.file.ends_with("sched.rs") {
+        scan_guard_across_send(ctx.file, toks, &mut out);
+    }
+    scan_panics(ctx.file, toks, &mut out);
+    if in_tolerance_scope(ctx.file) {
+        scan_float_tolerances(ctx.file, toks, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, &a.rule, &a.message).cmp(&(b.line, &b.rule, &b.message)));
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
+    out
+}
+
+/// Applies the file's waivers to its raw findings, in place. Returns one
+/// extra finding per waiver that suppressed nothing (waiver hygiene).
+pub fn apply_waivers(ctx: &FileCtx<'_>, findings: &mut [Finding]) -> Vec<Finding> {
+    let fns = fn_spans(ctx.toks);
+    let mut used = vec![false; ctx.waivers.len()];
+    for f in findings.iter_mut() {
+        if !f.rule.waivable() {
+            continue;
+        }
+        for (wi, w) in ctx.waivers.iter().enumerate() {
+            if w.kind != f.rule.waiver_kind() {
+                continue;
+            }
+            if waiver_covers(w, f.line, ctx.toks, &fns) {
+                f.waived = true;
+                f.reason = Some(w.reason.clone());
+                used[wi] = true;
+                break;
+            }
+        }
+    }
+    let mut extra = Vec::new();
+    for (wi, w) in ctx.waivers.iter().enumerate() {
+        if !used[wi] {
+            extra.push(Finding {
+                rule: Rule::UnusedWaiver,
+                file: ctx.file.to_string(),
+                line: w.line,
+                message: format!("waiver `{}` suppresses no finding — remove it", w.reason),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+    extra
+}
+
+/// True when waiver `w` covers a finding on `line`: same line, the
+/// next source line, or (when the next item is a `fn`) the whole body.
+fn waiver_covers(w: &Waiver, line: u32, toks: &[Tok], fns: &[FnSpan]) -> bool {
+    if w.line == line {
+        return true;
+    }
+    // First token line after the waiver comment.
+    let Some(target) = toks.iter().map(|t| t.line).find(|&l| l > w.line) else {
+        return false;
+    };
+    if target == line {
+        return true;
+    }
+    // Function-level waiver: the comment sits directly above a `fn`.
+    if toks
+        .iter()
+        .filter(|t| t.line == target)
+        .any(|t| t.is_ident("fn"))
+    {
+        if let Some(span) = fns.iter().find(|s| s.decl_line == target) {
+            return (span.body_start..=span.body_end).contains(&line);
+        }
+    }
+    false
+}
+
+/// Index of the first token of the file's `#[cfg(test)]` tail, or
+/// `toks.len()`. The workspace convention (enforced since the original
+/// `scripts/lint`) keeps test modules at the end of the file.
+fn test_region_start(toks: &[Tok]) -> usize {
+    let pat = ["#", "[", "cfg", "(", "test", ")", "]"];
+    for i in 0..toks.len() {
+        if pat
+            .iter()
+            .enumerate()
+            .all(|(k, p)| toks.get(i + k).is_some_and(|t| t.text == *p))
+        {
+            return i;
+        }
+    }
+    toks.len()
+}
+
+/// True for solver/checker files subject to the float-tolerance check.
+fn in_tolerance_scope(file: &str) -> bool {
+    (file.contains("crates/milp/src/") || file.contains("crates/certify/src/"))
+        && !file.ends_with("/tol.rs")
+}
+
+/// Root identifier of a type expression starting at `i`, skipping
+/// references, `mut`, lifetimes and path prefixes: the last path segment
+/// before `<`, `,`, `)`, `=`, ... So `&mut std::collections::HashMap<K, V>`
+/// roots at `HashMap`, while `Vec<HashMap<K, V>>` roots at `Vec`.
+fn type_root(toks: &[Tok], mut i: usize) -> Option<String> {
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('&') || t.kind == TokKind::Lifetime || t.is_ident("mut") || t.is_ident("dyn")
+        {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let mut root = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            root = Some(t.text.clone());
+            i += 1;
+            // Continue through `::` path segments.
+            if i + 1 < toks.len() && toks[i].is_punct(':') && toks[i + 1].is_punct(':') {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    root
+}
+
+/// True when the expression starting at `i` is a path call on an
+/// unordered constructor: `HashMap::new(...)`, `HashSet::from(...)`, ...
+fn is_unordered_constructor(toks: &[Tok], mut i: usize) -> bool {
+    let mut saw_unordered = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            if t.text == "HashMap" || t.text == "HashSet" {
+                saw_unordered = true;
+            }
+            i += 1;
+            // Turbofish on a path segment: `HashMap::<K, V>::new`.
+            if i < toks.len() && toks[i].is_punct('<') {
+                i = skip_angles(toks, i);
+            }
+            if i + 1 < toks.len() && toks[i].is_punct(':') && toks[i + 1].is_punct(':') {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    saw_unordered && i < toks.len() && toks[i].is_punct('(')
+}
+
+/// Skips a balanced `<...>` starting at `i` (which must be `<`);
+/// returns the index just past the matching `>`.
+fn skip_angles(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if toks[i].is_punct(';') || toks[i].is_punct('{') {
+            // Bail out of a shift expression mis-parse.
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a balanced `(...)`/`[...]`/`{...}` starting at `i`; returns
+/// the index just past the matching closer.
+fn skip_balanced(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if toks[i].is_punct('(') || toks[i].is_punct('[') || toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct(')') || toks[i].is_punct(']') || toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// File-local inference of unordered roots: local/parameter names and
+/// struct field names declared as `HashMap`/`HashSet`.
+fn collect_unordered(toks: &[Tok]) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut locals = BTreeSet::new();
+    let mut fields = BTreeSet::new();
+    let unordered = |r: &Option<String>| matches!(r.as_deref(), Some("HashMap") | Some("HashSet"));
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.clone();
+                let k = j + 1;
+                if k < toks.len()
+                    && toks[k].is_punct(':')
+                    && !toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                {
+                    if unordered(&type_root(toks, k + 1)) {
+                        locals.insert(name);
+                    }
+                } else if k < toks.len()
+                    && toks[k].is_punct('=')
+                    && is_unordered_constructor(toks, k + 1)
+                {
+                    locals.insert(name);
+                }
+            }
+            i += 1;
+        } else if t.is_ident("fn") {
+            // Find the parameter list `(`, skipping the generics.
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('(') && !toks[j].is_punct('{') {
+                if toks[j].is_punct('<') {
+                    j = skip_angles(toks, j);
+                } else {
+                    j += 1;
+                }
+            }
+            if j < toks.len() && toks[j].is_punct('(') {
+                let end = skip_balanced(toks, j);
+                let mut k = j + 1;
+                let mut depth = 1i32;
+                while k < end.saturating_sub(1) {
+                    let p = &toks[k];
+                    if p.is_punct('(') || p.is_punct('[') {
+                        depth += 1;
+                    } else if p.is_punct(')') || p.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 1
+                        && p.kind == TokKind::Ident
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                        && (toks[k - 1].is_punct('(') || toks[k - 1].is_punct(','))
+                        && unordered(&type_root(toks, k + 2))
+                    {
+                        locals.insert(p.text.clone());
+                    }
+                    k += 1;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+        } else if t.is_ident("struct") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].kind == TokKind::Ident {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('<') {
+                j = skip_angles(toks, j);
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let end = skip_balanced(toks, j);
+                let mut k = j + 1;
+                let mut depth = 1i32;
+                while k < end.saturating_sub(1) {
+                    let p = &toks[k];
+                    if p.is_punct('{') || p.is_punct('(') || p.is_punct('[') {
+                        depth += 1;
+                    } else if p.is_punct('}') || p.is_punct(')') || p.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 1
+                        && p.kind == TokKind::Ident
+                        && p.text != "pub"
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                        && (toks[k - 1].is_punct('{')
+                            || toks[k - 1].is_punct(',')
+                            || toks[k - 1].is_punct(']')
+                            || toks[k - 1].is_punct(')'))
+                        && unordered(&type_root(toks, k + 2))
+                    {
+                        fields.insert(p.text.clone());
+                    }
+                    k += 1;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    (locals, fields)
+}
+
+/// D1/D3: for-loops over unordered roots and iteration-method chains.
+fn scan_iteration(
+    file: &str,
+    toks: &[Tok],
+    locals: &BTreeSet<String>,
+    fields: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("for") {
+            scan_for_loop(file, toks, i, locals, fields, out);
+        }
+        if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct('.')) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let prev_path = i > 0 && toks[i - 1].is_punct(':');
+        let is_root = if prev_dot {
+            fields.contains(&t.text)
+        } else {
+            !prev_path && locals.contains(&t.text)
+        };
+        if !is_root {
+            continue;
+        }
+        let methods = chain_methods(toks, i + 1);
+        report_chain(file, &t.text, &methods, out);
+    }
+}
+
+/// Collects `(method, line)` for the call chain `.m1(..).m2(..)...`
+/// starting at `dot` (which must index a `.`). Field accesses end the
+/// chain-method collection but calls continue through them.
+fn chain_methods(toks: &[Tok], mut dot: usize) -> Vec<(String, u32)> {
+    let mut methods = Vec::new();
+    while dot < toks.len() && toks[dot].is_punct('.') {
+        let Some(m) = toks.get(dot + 1) else { break };
+        if m.kind != TokKind::Ident {
+            break;
+        }
+        let mut k = dot + 2;
+        // Turbofish: `.sum::<f64>()`.
+        if k + 1 < toks.len() && toks[k].is_punct(':') && toks[k + 1].is_punct(':') {
+            k += 2;
+            if k < toks.len() && toks[k].is_punct('<') {
+                k = skip_angles(toks, k);
+            }
+        }
+        if k < toks.len() && toks[k].is_punct('(') {
+            methods.push((m.text.clone(), m.line));
+            dot = skip_balanced(toks, k);
+        } else {
+            // Plain field access: step over it and keep walking.
+            dot = k;
+        }
+    }
+    methods
+}
+
+/// Emits D1 or D3 for a method chain rooted at unordered `root`.
+fn report_chain(file: &str, root: &str, methods: &[(String, u32)], out: &mut Vec<Finding>) {
+    let Some(iter_at) = methods
+        .iter()
+        .position(|(m, _)| ITER_METHODS.contains(&m.as_str()))
+    else {
+        return;
+    };
+    let accum = methods[iter_at..]
+        .iter()
+        .find(|(m, _)| ACCUM_METHODS.contains(&m.as_str()));
+    if let Some((m, mline)) = accum {
+        out.push(Finding {
+            rule: Rule::FloatAccum,
+            file: file.to_string(),
+            line: *mline,
+            message: format!(
+                "`{m}()` accumulates over unordered container `{root}` — float addition is order-sensitive; collect and sort first"
+            ),
+            waived: false,
+            reason: None,
+        });
+    } else {
+        let (m, mline) = &methods[iter_at];
+        out.push(Finding {
+            rule: Rule::NondetIter,
+            file: file.to_string(),
+            line: *mline,
+            message: format!(
+                "iteration (`{m}`) over unordered container `{root}` — use BTreeMap/BTreeSet or sort, or waive with a reason"
+            ),
+            waived: false,
+            reason: None,
+        });
+    }
+}
+
+/// D1 for `for <pat> in <expr> {`: resolves the loop expression's root.
+fn scan_for_loop(
+    file: &str,
+    toks: &[Tok],
+    i: usize,
+    locals: &BTreeSet<String>,
+    fields: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    // Locate `in` at bracket depth 0 before the loop body `{` (an `impl
+    // Trait for Type {` or HRTB `for<'a>` never has one).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let in_at = loop {
+        let Some(t) = toks.get(j) else { return };
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('{') {
+            return;
+        } else if depth == 0 && t.is_ident("in") {
+            break j;
+        }
+        j += 1;
+    };
+    // Root expression: `&`/`mut` then an ident/field chain.
+    let mut k = in_at + 1;
+    while toks
+        .get(k)
+        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut") || t.is_punct('*'))
+    {
+        k += 1;
+    }
+    let Some(first) = toks.get(k) else { return };
+    if first.kind != TokKind::Ident {
+        return;
+    }
+    let mut unordered = locals.contains(&first.text);
+    let mut seg = k;
+    // Walk `a.b.c` field segments (stop at calls; chains with calls are
+    // handled by the method-chain scan).
+    while toks.get(seg + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(seg + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        && !toks.get(seg + 3).is_some_and(|t| t.is_punct('('))
+    {
+        seg += 2;
+        if fields.contains(&toks[seg].text) {
+            unordered = true;
+        }
+    }
+    // `for x in map {` / `for x in &self.map {` — flag only when the
+    // expression ends here (a call chain is the other scan's job).
+    if unordered && toks.get(seg + 1).is_some_and(|t| t.is_punct('{')) {
+        out.push(Finding {
+            rule: Rule::NondetIter,
+            file: file.to_string(),
+            line: toks[i].line,
+            message: format!(
+                "for-loop over unordered container `{}` — use BTreeMap/BTreeSet or sort, or waive with a reason",
+                toks[seg].text
+            ),
+            waived: false,
+            reason: None,
+        });
+    }
+}
+
+/// D2: clock reads outside the timer module.
+fn scan_clock_reads(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
+            out.push(Finding {
+                rule: Rule::ClockRead,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` outside vm1_obs::timer — clock reads are nondeterministic; take a Stopwatch instead",
+                    t.text
+                ),
+                waived: false,
+                reason: None,
+            });
+        } else if t.text == "std"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("time"))
+        {
+            // `std::time::X` — Duration is a value type and fine; a brace
+            // group is judged by its members, and Instant/SystemTime are
+            // already reported by the ident check above.
+            let next = toks.get(i + 6);
+            let allowed = next.is_none_or(|n| {
+                n.is_ident("Duration")
+                    || n.is_ident("Instant")
+                    || n.is_ident("SystemTime")
+                    || n.is_punct('{')
+                    || n.kind != TokKind::Ident
+            });
+            if !allowed {
+                out.push(Finding {
+                    rule: Rule::ClockRead,
+                    file: file.to_string(),
+                    line: t.line,
+                    message: "`std::time` used outside vm1_obs::timer (only Duration is allowed)"
+                        .to_string(),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+}
+
+/// D4 (part 1): `.lock().unwrap()` / `.lock().expect(...)` — poisoning
+/// must be handled, never unwrapped. Not waivable.
+fn scan_lock_unwrap(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if toks[i].is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("lock") || t.is_ident("try_lock"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 5)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Finding {
+                rule: Rule::LockDiscipline,
+                file: file.to_string(),
+                line: toks[i + 1].line,
+                message: format!(
+                    "bare `.{}().{}(...)` — handle PoisonError (e.g. unwrap_or_else(PoisonError::into_inner))",
+                    toks[i + 1].text, toks[i + 5].text
+                ),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// D4 (part 2), scheduler files only: a lock guard bound by `let` (or
+/// extended from an `if let`/`while let` scrutinee) must not be live
+/// across a channel/telemetry send.
+fn scan_guard_across_send(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    // (name-or-None, brace depth the guard dies at)
+    let mut guards: Vec<(Option<String>, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|(_, d)| *d <= depth);
+        } else if t.is_ident("drop") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                    if let Some(pos) = guards
+                        .iter()
+                        .rposition(|(g, _)| g.as_deref() == Some(name.text.as_str()))
+                    {
+                        guards.remove(pos);
+                    }
+                }
+            }
+        } else if t.is_ident("let") {
+            if let Some((name, end, block_scoped)) = guard_binding(toks, i) {
+                if block_scoped {
+                    guards.push((None, depth + 1));
+                } else {
+                    guards.push((name, depth));
+                }
+                i = end;
+                continue;
+            }
+        } else if t.kind == TokKind::Ident
+            && SEND_METHODS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !guards.is_empty()
+        {
+            let held: Vec<String> = guards
+                .iter()
+                .map(|(g, _)| g.clone().unwrap_or_else(|| "<scrutinee temporary>".into()))
+                .collect();
+            out.push(Finding {
+                rule: Rule::LockDiscipline,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` called while lock guard(s) [{}] are live — drop the guard before sending",
+                    t.text,
+                    held.join(", ")
+                ),
+                waived: false,
+                reason: None,
+            });
+        }
+        i += 1;
+    }
+}
+
+/// Inspects a `let` statement at `i`. Returns `(bound name, index after
+/// statement, is-block-scoped)` when the statement binds (or extends) a
+/// lock guard: the RHS root is a `lock(...)`/`.lock()` call optionally
+/// followed by guard-preserving adapters (`unwrap_or_else`, ...).
+fn guard_binding(toks: &[Tok], i: usize) -> Option<(Option<String>, usize, bool)> {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = toks
+        .get(j)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone());
+    // Advance to the `=` at depth 0 (skip the pattern and `: Type`).
+    let mut depth = 0i32;
+    let eq = loop {
+        let t = toks.get(j)?;
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('=') && !toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+        {
+            break j;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{')) {
+            return None;
+        }
+        j += 1;
+    };
+    // Statement end: `;` at depth 0, or `{` at depth 0 (if/while let).
+    let mut k = eq + 1;
+    let mut depth = 0i32;
+    let (term, resume, block_scoped) = loop {
+        let t = toks.get(k)?;
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(';') {
+            break (k, k + 1, false);
+        } else if depth == 0 && t.is_punct('{') {
+            break (k, k, true);
+        }
+        k += 1;
+    };
+    if !rhs_is_guard(toks, eq + 1, term) {
+        return None;
+    }
+    Some((name, resume, block_scoped))
+}
+
+/// True when the RHS tokens in `[start, end)` evaluate to a live guard:
+/// the chain reaches a `lock`/`try_lock` call and every later chain
+/// method preserves the guard.
+fn rhs_is_guard(toks: &[Tok], start: usize, end: usize) -> bool {
+    const PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else", "unwrap_or_default"];
+    let mut j = start;
+    while j < end && (toks[j].is_punct('&') || toks[j].is_punct('*') || toks[j].is_ident("mut")) {
+        j += 1;
+    }
+    // Free-function form: `lock(&m)` (+ preserving adapters).
+    if toks
+        .get(j)
+        .is_some_and(|t| t.is_ident("lock") || t.is_ident("try_lock"))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+    {
+        let after = skip_balanced(toks, j + 1);
+        return chain_preserves_guard(toks, after, end, PRESERVING);
+    }
+    // Method form: `expr.lock()` — the receiver must be a plain path
+    // (a nested `lock` inside a call argument is a temporary, not the
+    // bound value).
+    if toks.get(j).is_some_and(|t| t.kind == TokKind::Ident) {
+        let mut k = j;
+        while k < end {
+            if toks[k].is_punct('.')
+                && toks
+                    .get(k + 1)
+                    .is_some_and(|t| t.is_ident("lock") || t.is_ident("try_lock"))
+                && toks.get(k + 2).is_some_and(|t| t.is_punct('('))
+            {
+                let after = skip_balanced(toks, k + 2);
+                return chain_preserves_guard(toks, after, end, PRESERVING);
+            }
+            if toks[k].is_punct('(') || toks[k].is_punct('[') {
+                // Receiver involves a call: nested temporaries only.
+                return false;
+            }
+            k += 1;
+        }
+    }
+    false
+}
+
+/// After a lock call, every further `.m(...)` up to `end` must be a
+/// guard-preserving adapter for the bound value to still be the guard.
+fn chain_preserves_guard(toks: &[Tok], mut j: usize, end: usize, preserving: &[&str]) -> bool {
+    while j < end && toks[j].is_punct('.') {
+        let Some(m) = toks.get(j + 1) else {
+            return false;
+        };
+        if !preserving.contains(&m.text.as_str()) {
+            return false;
+        }
+        let mut k = j + 2;
+        if k < end && toks[k].is_punct('(') {
+            k = skip_balanced(toks, k);
+        }
+        j = k;
+    }
+    j >= end
+}
+
+/// D5 (ported check 1): `.unwrap()`, `.expect(...)`, `panic!(...)` in
+/// library code. Waivable per line with `// lint: allow(<reason>)`.
+fn scan_panics(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|m| m.is_ident("unwrap") || m.is_ident("expect"))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            // `.lock().unwrap()` is D4's finding; don't double-report.
+            let after_lock = i >= 3
+                && toks[i - 1].is_punct(')')
+                && toks[i - 2].is_punct('(')
+                && (toks[i - 3].is_ident("lock") || toks[i - 3].is_ident("try_lock"));
+            if !after_lock {
+                out.push(Finding {
+                    rule: Rule::Unwrap,
+                    file: file.to_string(),
+                    line: toks[i + 1].line,
+                    message: format!(
+                        "`.{}(...)` in library code — return a typed error, or waive a documented-panic API",
+                        toks[i + 1].text
+                    ),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        } else if t.is_ident("panic")
+            && toks.get(i + 1).is_some_and(|p| p.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            out.push(Finding {
+                rule: Rule::Unwrap,
+                file: file.to_string(),
+                line: t.line,
+                message: "`panic!(...)` in library code — return a typed error, or waive a documented-panic API".to_string(),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// D5 (ported check 4): raw negative-exponent float literals and direct
+/// f64 equality in solver/checker code. Named tolerances live in
+/// `crates/milp/src/tol.rs` (exempt); `!=` comparisons are not flagged.
+fn scan_float_tolerances(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let is_float = |t: &Tok| {
+        t.kind == TokKind::Num
+            && (t.text.contains('.') || t.text.contains("e-") || t.text.contains("E-"))
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Num && (t.text.contains("e-") || t.text.contains("E-")) {
+            out.push(Finding {
+                rule: Rule::FloatTol,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "raw float tolerance literal `{}` — name it in crates/milp/src/tol.rs",
+                    t.text
+                ),
+                waived: false,
+                reason: None,
+            });
+        }
+        // `==` with a float literal on either side.
+        if t.is_punct('=')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('='))
+            && !(i > 0 && (toks[i - 1].is_punct('!') || toks[i - 1].is_punct('=')))
+            && !toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+        {
+            let lhs_float = i > 0 && is_float(&toks[i - 1]);
+            let mut r = i + 2;
+            if toks.get(r).is_some_and(|n| n.is_punct('-')) {
+                r += 1;
+            }
+            let rhs_float = toks.get(r).is_some_and(&is_float);
+            if lhs_float || rhs_float {
+                out.push(Finding {
+                    rule: Rule::FloatTol,
+                    file: file.to_string(),
+                    line: t.line,
+                    message: "direct f64 equality — compare exactly on integers/rationals or use a named tolerance".to_string(),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+}
+
+/// Brace-matched spans of every `fn` item with a body.
+fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let decl_line = toks[i].line;
+        let mut j = i + 1;
+        // Skip to the parameter list.
+        while j < toks.len() && !toks[j].is_punct('(') {
+            if toks[j].is_punct('<') {
+                j = skip_angles(toks, j);
+            } else if toks[j].is_punct(';') || toks[j].is_punct('{') {
+                break;
+            } else {
+                j += 1;
+            }
+        }
+        if j >= toks.len() || !toks[j].is_punct('(') {
+            i = j.max(i + 1);
+            continue;
+        }
+        j = skip_balanced(toks, j);
+        // Return type / where clause up to the body or a `;`.
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            if toks[j].is_punct('<') {
+                j = skip_angles(toks, j);
+            } else {
+                j += 1;
+            }
+        }
+        if j < toks.len() && toks[j].is_punct('{') {
+            let body_start = toks[j].line;
+            let end = skip_balanced(toks, j);
+            let body_end = toks
+                .get(end.saturating_sub(1))
+                .map_or(body_start, |t| t.line);
+            spans.push(FnSpan {
+                decl_line,
+                body_start,
+                body_end,
+            });
+            i = j + 1; // descend into the body (nested fns get spans too)
+        } else {
+            i = j;
+        }
+    }
+    spans
+}

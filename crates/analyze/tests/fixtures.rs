@@ -1,0 +1,154 @@
+//! Fixture tests: known-good and known-bad snippets per rule D1-D5,
+//! with exact finding spans. Deleting any determinism fix in the
+//! workspace makes `workspace_is_clean` (below) fail the same way these
+//! fixtures demonstrate.
+
+use vm1_analyze::{analyze_source, Finding, Rule};
+
+fn spans(findings: &[Finding], rule: Rule) -> Vec<(u32, bool)> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.line, f.waived))
+        .collect()
+}
+
+fn other_rules(findings: &[Finding], allowed: &[Rule]) -> Vec<String> {
+    findings
+        .iter()
+        .filter(|f| !allowed.contains(&f.rule))
+        .map(|f| format!("{}:{} {}", f.file, f.line, f.message))
+        .collect()
+}
+
+#[test]
+fn d1_flags_every_unordered_root_kind() {
+    let src = include_str!("fixtures/d1_bad.rs");
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    // Ascribed local (11), constructor local (21), param (28), struct
+    // field (33), drain on param (38) — all unwaived.
+    assert_eq!(
+        spans(&f, Rule::NondetIter),
+        vec![
+            (11, false),
+            (21, false),
+            (28, false),
+            (33, false),
+            (38, false)
+        ]
+    );
+    assert_eq!(other_rules(&f, &[Rule::NondetIter]), Vec::<String>::new());
+}
+
+#[test]
+fn d1_ordered_and_lookup_only_code_is_clean() {
+    let src = include_str!("fixtures/d1_good.rs");
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    assert_eq!(other_rules(&f, &[]), Vec::<String>::new());
+}
+
+#[test]
+fn d1_waiver_suppresses_precisely_its_own_site() {
+    let src = include_str!("fixtures/d1_waived.rs");
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    // fn-level waiver covers line 6, same-line waiver covers line 10;
+    // the identical pattern on line 14 stays flagged.
+    assert_eq!(
+        spans(&f, Rule::NondetIter),
+        vec![(6, true), (10, true), (14, false)]
+    );
+    // Both waivers are used: no unused-waiver findings.
+    assert_eq!(spans(&f, Rule::UnusedWaiver), Vec::<(u32, bool)>::new());
+    let reasons: Vec<&str> = f
+        .iter()
+        .filter(|x| x.waived)
+        .map(|x| x.reason.as_deref().unwrap_or(""))
+        .collect();
+    assert_eq!(
+        reasons,
+        vec![
+            "diagnostic dump only; order never reaches results",
+            "count is order-free"
+        ]
+    );
+}
+
+#[test]
+fn d2_flags_clock_reads_outside_timer_module() {
+    let src = include_str!("fixtures/d2_bad.rs");
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    assert_eq!(
+        spans(&f, Rule::ClockRead),
+        vec![(2, false), (5, false), (6, false)]
+    );
+    assert_eq!(other_rules(&f, &[Rule::ClockRead]), Vec::<String>::new());
+}
+
+#[test]
+fn d2_duration_is_allowed_and_timer_module_is_exempt() {
+    let good = include_str!("fixtures/d2_good.rs");
+    let f = analyze_source("crates/x/src/lib.rs", good);
+    assert_eq!(other_rules(&f, &[]), Vec::<String>::new());
+    // The same clock-reading source is clean when it IS the timer module.
+    let bad = include_str!("fixtures/d2_bad.rs");
+    let f = analyze_source("crates/obs/src/timer.rs", bad);
+    assert_eq!(spans(&f, Rule::ClockRead), Vec::<(u32, bool)>::new());
+}
+
+#[test]
+fn d3_reports_accumulation_not_plain_iteration() {
+    let src = include_str!("fixtures/d3_bad.rs");
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    assert_eq!(spans(&f, Rule::FloatAccum), vec![(5, false), (9, false)]);
+    // The iteration is subsumed by the accumulation finding.
+    assert_eq!(spans(&f, Rule::NondetIter), Vec::<(u32, bool)>::new());
+}
+
+#[test]
+fn d4_lock_discipline_exact_sites_and_no_waiver() {
+    let src = include_str!("fixtures/d4_bad.rs");
+    // Label ends in sched.rs so the guard-across-send rule applies.
+    let f = analyze_source("crates/x/src/sched.rs", src);
+    assert_eq!(
+        spans(&f, Rule::LockDiscipline),
+        vec![(7, false), (11, false), (16, false), (35, false)]
+    );
+    assert!(!Rule::LockDiscipline.waivable(), "D4 must not be waivable");
+    // Outside scheduler files only the bare lock-unwrap sites remain.
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    assert_eq!(
+        spans(&f, Rule::LockDiscipline),
+        vec![(7, false), (11, false)]
+    );
+}
+
+#[test]
+fn d5_ported_checks_with_line_waiver() {
+    let src = include_str!("fixtures/d5_bad.rs");
+    // Label under crates/milp/src so the tolerance scope applies.
+    let f = analyze_source("crates/milp/src/fix.rs", src);
+    assert_eq!(
+        spans(&f, Rule::Unwrap),
+        vec![(6, false), (7, false), (9, false), (22, true)]
+    );
+    assert_eq!(spans(&f, Rule::FloatTol), vec![(15, false), (16, false)]);
+    // Outside the solver/checker scope the tolerance check is silent.
+    let f = analyze_source("crates/flow/src/fix.rs", src);
+    assert_eq!(spans(&f, Rule::FloatTol), Vec::<(u32, bool)>::new());
+}
+
+#[test]
+fn cfg_test_tail_is_out_of_scope() {
+    let src = include_str!("fixtures/test_tail.rs");
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    assert_eq!(other_rules(&f, &[]), Vec::<String>::new());
+}
+
+#[test]
+fn unused_waiver_is_itself_a_finding() {
+    let f = analyze_source(
+        "crates/x/src/lib.rs",
+        "pub fn ok() {} // lint: allow(nothing here to waive)\n",
+    );
+    assert_eq!(spans(&f, Rule::UnusedWaiver), vec![(1, false)]);
+}

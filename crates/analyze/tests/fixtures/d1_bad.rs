@@ -1,0 +1,48 @@
+// Fixture: every D1 site kind the analyzer must flag.
+use std::collections::{HashMap, HashSet};
+
+pub struct Holder {
+    by_name: HashMap<String, u32>,
+}
+
+pub fn let_ascription() -> Vec<u32> {
+    let m: HashMap<String, u32> = build();
+    let mut out = Vec::new();
+    for (_k, v) in m.iter() {
+        // line 11: method chain on ascribed local
+        out.push(*v);
+    }
+    out
+}
+
+pub fn constructor_root() {
+    let mut s = HashSet::new();
+    s.insert(1u32);
+    for x in &s {
+        // line 21: for-loop over constructor-typed local
+        let _ = x;
+    }
+}
+
+pub fn param_root(lookup: &HashMap<u32, u32>) -> Vec<u32> {
+    lookup.values().copied().collect() // line 28: values() on param
+}
+
+impl Holder {
+    pub fn field_root(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect() // line 33: keys() on field
+    }
+}
+
+pub fn drain_site(mut m: HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    m.drain().collect() // line 38: drain() on param
+}
+
+fn build() -> HashMap<String, u32> {
+    HashMap::new()
+}
+
+pub fn lookup_only(m: &HashMap<u32, u32>) -> Option<u32> {
+    // Lookups and inserts are order-free: none of these may be flagged.
+    m.get(&1).copied()
+}

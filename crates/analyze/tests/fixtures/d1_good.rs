@@ -1,0 +1,23 @@
+// Fixture: ordered containers and order-free HashMap use — zero findings.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub fn ordered_iteration() -> Vec<u32> {
+    let om: BTreeMap<String, u32> = BTreeMap::new();
+    let mut out = Vec::new();
+    for (_k, v) in om.iter() {
+        out.push(*v);
+    }
+    let os: BTreeSet<u32> = BTreeSet::new();
+    out.extend(os.iter());
+    out
+}
+
+pub fn hashmap_lookups(hm: &HashMap<u32, u32>) -> u32 {
+    let mut hm2 = HashMap::new();
+    hm2.insert(1u32, 2u32);
+    hm.get(&1).copied().unwrap_or(0) + hm2.len() as u32
+}
+
+pub fn vec_accumulation(xs: &[f64]) -> f64 {
+    xs.iter().sum() // ordered root: not D3
+}

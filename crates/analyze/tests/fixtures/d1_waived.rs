@@ -1,0 +1,15 @@
+// Fixture: waiver scoping — one waived site, one identical unwaived site.
+use std::collections::HashMap;
+
+// analyze: nondeterministic-ok(diagnostic dump only; order never reaches results)
+pub fn waived_whole_fn(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count() // line 6: covered by the fn-level waiver
+}
+
+pub fn same_line_waiver(m: &HashMap<u32, u32>) -> usize {
+    m.values().count() // analyze: nondeterministic-ok(count is order-free)
+}
+
+pub fn not_waived(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count() // line 14: must still be flagged
+}

@@ -1,0 +1,8 @@
+// Fixture: clock reads that must be flagged (file is not the timer module).
+use std::time::Instant; // line 2: Instant import
+
+pub fn timed() -> u64 {
+    let t0 = Instant::now(); // line 5: Instant read
+    let _st = std::time::SystemTime::now(); // line 6: SystemTime read
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,7 @@
+// Fixture: Duration is a value type — allowed anywhere. Zero findings.
+use std::time::Duration;
+
+pub fn half(d: Duration) -> Duration {
+    let limit = std::time::Duration::from_millis(5);
+    d.min(limit) / 2
+}

@@ -1,0 +1,10 @@
+// Fixture: float accumulation rooted at unordered containers (D3, not D1).
+use std::collections::HashMap;
+
+pub fn hash_sum(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum() // line 5: sum over unordered root
+}
+
+pub fn hash_fold(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().fold(0.0, |a, b| a + b) // line 9: fold over unordered root
+}

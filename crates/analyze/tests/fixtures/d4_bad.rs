@@ -1,0 +1,36 @@
+// Fixture: mutex-discipline violations. Named `*sched.rs` by the test so
+// the guard-across-send rule applies; the bare lock-unwrap rule applies
+// everywhere.
+use std::sync::{Arc, Mutex};
+
+pub fn bare_lock_unwrap(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // line 7: .lock().unwrap()
+}
+
+pub fn bare_lock_expect(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned") // line 11: .lock().expect(...)
+}
+
+pub fn guard_across_send(m: &Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    tx.send(*g).ok(); // line 16: send while `g` live
+    drop(g);
+    tx.send(0).ok(); // line 18: fine, guard dropped
+}
+
+pub fn guard_dropped_by_scope(m: &Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    {
+        let _g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    tx.send(1).ok(); // line 25: fine, guard scope closed
+}
+
+pub struct Recorder;
+impl Recorder {
+    pub fn record_gauge(&self, _v: u64) {}
+}
+
+pub fn guard_across_telemetry(m: &Mutex<u64>, r: &Recorder) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    r.record_gauge(*g); // line 35: telemetry send while `g` live
+}

@@ -1,0 +1,23 @@
+// Fixture: ported scripts/lint checks — unwrap/expect/panic! (everywhere)
+// and float tolerances / f64 equality (solver scope; the test labels this
+// file under crates/milp/src/).
+
+pub fn unwraps(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // line 6: .unwrap()
+    let b = y.expect("failed"); // line 7: .expect(...)
+    if a + b == 0 {
+        panic!("zero"); // line 9: panic!
+    }
+    a + b
+}
+
+pub fn tolerances(v: f64) -> bool {
+    let close = (v - 1.0).abs() < 1e-9; // line 15: raw tolerance literal
+    let exact = v == 0.5; // line 16: direct f64 equality
+    let zero_skip = v != 0.0; // exempt: != is a zero-skip, never flagged
+    close && exact && zero_skip
+}
+
+pub fn waived_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(documented `# Panics` contract)
+}

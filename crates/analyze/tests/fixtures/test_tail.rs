@@ -1,0 +1,20 @@
+// Fixture: the `#[cfg(test)]` tail is out of scope — unwraps and hash
+// iteration inside tests are fine.
+use std::collections::HashMap;
+
+pub fn clean(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.get(&1).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loud_test() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (_k, _v) in m.iter() {}
+        assert_eq!(clean(&m).unwrap_or(0), 0);
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,40 @@
+//! The analyzer gate, as a test: the workspace must carry zero unwaived
+//! findings, every waiver must carry a reason, and the waived inventory
+//! must match the checked-in baseline. Reverting any determinism fix
+//! (e.g. a BTreeMap back to a HashMap, or a Stopwatch back to a raw
+//! Instant) fails this test.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unwaived_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = vm1_analyze::analyze_workspace(&root).expect("workspace scan");
+    let bad: Vec<String> = report
+        .unwaived()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule.id(), f.message))
+        .collect();
+    assert!(bad.is_empty(), "unwaived findings:\n{}", bad.join("\n"));
+    assert!(report.files_scanned > 50, "scan set collapsed unexpectedly");
+    for f in report.waived() {
+        assert!(
+            f.reason.as_deref().is_some_and(|r| !r.trim().is_empty()),
+            "{}:{} waived without a reason",
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn waived_inventory_matches_checked_in_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = vm1_analyze::analyze_workspace(&root).expect("workspace scan");
+    let baseline = std::fs::read_to_string(root.join("scripts/analyze-baseline.txt"))
+        .expect("scripts/analyze-baseline.txt is checked in");
+    let (missing, unexpected) = report.diff_baseline(&baseline);
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "baseline drift — stale: {missing:?}; new (regenerate deliberately): {unexpected:?}"
+    );
+}

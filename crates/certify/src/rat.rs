@@ -75,7 +75,7 @@ impl Rat {
     /// checker only calls this with small compile-time constants.
     #[must_use]
     pub fn dyadic(k: u32) -> Rat {
-        assert!(k <= 126, "dyadic exponent {k} too large"); // lint: allow(compile-time constant)
+        assert!(k <= 126, "dyadic exponent {k} too large");
         Rat {
             num: 1,
             den: 1i128 << k,

@@ -17,7 +17,7 @@
 //!   constraint (4) (the printed (4) is the γ = 1 case).
 
 use crate::problem::{End, WindowProblem};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vm1_milp::{Model, VarId};
 
 /// Mapping from problem entities to MILP variables, for solution
@@ -54,7 +54,7 @@ pub fn build_milp(prob: &WindowProblem) -> (Model, MilpVars) {
     // ---- constraint (9): site cliques ----------------------------------
     // For each window site, the sum of λ whose footprint covers it ≤ 1
     // (+0 if a fixed cell covers it — then the candidates were pruned).
-    let mut site_cover: HashMap<(i64, i64), Vec<(VarId, f64)>> = HashMap::new();
+    let mut site_cover: BTreeMap<(i64, i64), Vec<(VarId, f64)>> = BTreeMap::new();
     for (c, cell) in prob.cells.iter().enumerate() {
         for (k, cand) in cell.cands.iter().enumerate() {
             for s in cand.site..cand.site + cell.width {
@@ -468,5 +468,53 @@ mod tests {
         let cur = prob.current_assign();
         let ws = warm_start(&prob, &model, &vars, &cur);
         assert_eq!(extract_assignment(&vars, &ws), cur);
+    }
+
+    /// Canonical dump of a model's full structure: variables (name,
+    /// kind, bounds), rows in emission order (terms, sense, rhs),
+    /// objective, SOS1 groups.
+    fn fingerprint(m: &vm1_milp::Model) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for i in 0..m.num_vars() {
+            let v = m.var_id(i);
+            let (lb, ub) = m.var_bounds(v);
+            let _ = writeln!(s, "v {} {:?} {lb} {ub}", m.var_name(v), m.var_kind(v));
+        }
+        for i in 0..m.num_constraints() {
+            let _ = write!(s, "c {:?} {}", m.constraint_sense(i), m.constraint_rhs(i));
+            for (v, a) in m.constraint_terms(i) {
+                let _ = write!(s, " {}*{a}", v.index());
+            }
+            s.push('\n');
+        }
+        let _ = writeln!(s, "obj {:?}", m.objective_coeffs());
+        for g in m.sos1_groups() {
+            let _ = writeln!(
+                s,
+                "sos {:?}",
+                g.iter().map(|v| v.index()).collect::<Vec<_>>()
+            );
+        }
+        s
+    }
+
+    /// Regression for the `site_cover` D1 fix: the cover rows are
+    /// grouped by a map keyed on (row, site), so the model's row order —
+    /// which downstream fixes the simplex pivoting, branch order, and
+    /// certificate layout — must be identical on every build. With a
+    /// `HashMap` the row order varied run to run.
+    #[test]
+    fn build_milp_row_order_is_deterministic() {
+        for arch in [CellArch::ClosedM1, CellArch::OpenM1] {
+            let prob = problem(arch, 200);
+            let (a, _) = build_milp(&prob);
+            let (b, _) = build_milp(&prob);
+            assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "{arch}: model structure must not depend on build order"
+            );
+        }
     }
 }

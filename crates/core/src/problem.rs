@@ -13,7 +13,7 @@
 use crate::pairs::{alignable_pairs, pin_layer};
 use crate::window::Window;
 use crate::Vm1Config;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use vm1_geom::Orient;
 use vm1_netlist::{Design, InstId, NetId, NetPin, PinRef};
 use vm1_place::RowMap;
@@ -141,8 +141,11 @@ pub struct SolveScratch {
     ids: Vec<InstId>,
     /// Output buffer of [`WindowProblem::movable_in_window_into`].
     pub(crate) movable: Vec<InstId>,
-    /// Instance de-duplication set of the occupancy scan.
-    seen: HashSet<InstId>,
+    /// Instance de-duplication set of the occupancy scan. Ordered
+    /// (`BTreeSet`) so the fixed-occupancy marking loop iterates in
+    /// instance order — occupancy marking is commutative, but rule D1
+    /// requires unordered-container iteration to be provably fixed.
+    seen: BTreeSet<InstId>,
 }
 
 impl SolveScratch {

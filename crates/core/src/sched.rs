@@ -35,6 +35,18 @@
 //! thread observes `remaining == 0 && working == 0` under the same mutex,
 //! no worker can still hold the design/rowmap snapshots. Task panics are
 //! caught per task and re-raised on the committing thread after cleanup.
+//!
+//! # Schedule-permutation model checking
+//!
+//! [`WorkerPool::new_adversarial`] arms a seeded adversary that replays
+//! every round under a worst-case interleaving drawn from a per-round
+//! xorshift64 stream: permuted task stripes, all tasks piled onto one
+//! victim queue (forcing every other worker to steal), reversed queue
+//! drains, and rotated chunk assignments — plus randomized steal-victim
+//! rotation and steal-before-own-queue ordering. Because scheduling can
+//! never reach the results (see *Determinism* above), placements and
+//! every counter must stay bit-identical under any adversary seed; the
+//! `sched_permutation` integration tests assert exactly that.
 
 use crate::distopt::{solve_one_window, DistOptParams, SolveCache, WindowOutcome};
 use crate::problem::SolveScratch;
@@ -44,11 +56,11 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
 use vm1_netlist::Design;
+use vm1_obs::timer::Stopwatch;
 use vm1_obs::{MetricsHandle, SchedGauge};
 use vm1_place::RowMap;
 
@@ -94,6 +106,41 @@ struct RoundState {
     results: Vec<Mutex<Option<WindowOutcome>>>,
     remaining: AtomicUsize,
     panics: Mutex<Vec<Box<dyn Any + Send>>>,
+    /// Adversarial steal-victim rotation: worker `w` tries victims
+    /// starting at `(w + steal_rot)`. Zero in normal rounds.
+    steal_rot: usize,
+    /// Adversarial ordering: steal from other queues *before* draining
+    /// the own queue. False in normal rounds.
+    steal_first: bool,
+}
+
+/// Splitmix-style seeded xorshift64 stream for the schedule adversary.
+/// Deterministic per (seed, round), so a failing seed replays exactly.
+struct AdversaryRng(u64);
+
+impl AdversaryRng {
+    fn new(seed: u64, round: u64) -> AdversaryRng {
+        // Mix so that seed 0 / round 0 still yields a nonzero state.
+        AdversaryRng(
+            seed ^ round
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x1234_5678_9ABC_DEF1),
+        )
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish draw in `0..n` (`n > 0`).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
 }
 
 struct PoolState {
@@ -120,6 +167,10 @@ pub(crate) struct WorkerPool {
     /// Scratch of the inline path (single-thread pools and one-window
     /// rounds run on the calling thread).
     scratch: Mutex<SolveScratch>,
+    /// Adversary seed; `None` runs the normal schedule.
+    adversary: Option<u64>,
+    /// Rounds dispatched so far — the adversary's per-round stream index.
+    rounds: AtomicU64,
 }
 
 impl fmt::Debug for WorkerPool {
@@ -153,7 +204,7 @@ impl WorkerPool {
                     std::thread::Builder::new()
                         .name(format!("vm1-window-{i}"))
                         .spawn(move || worker_main(&sh, i))
-                        .expect("spawn DistOpt pool worker"),
+                        .expect("spawn DistOpt pool worker"), // lint: allow(cannot run without workers; spawn failure at construction is unrecoverable)
                 );
             }
         }
@@ -162,7 +213,18 @@ impl WorkerPool {
             handles,
             policy,
             scratch: Mutex::new(SolveScratch::default()),
+            adversary: None,
+            rounds: AtomicU64::new(0),
         }
+    }
+
+    /// Creates a pool whose every round is scheduled by the seeded
+    /// adversary (see the module docs). Forces [`SchedPolicy::WorkSteal`]:
+    /// the adversary's all-to-one mode relies on stealing to drain.
+    pub(crate) fn new_adversarial(threads: usize, seed: u64) -> WorkerPool {
+        let mut pool = WorkerPool::new(threads, SchedPolicy::WorkSteal);
+        pool.adversary = Some(seed);
+        pool
     }
 
     /// Number of pool workers (0 = inline execution on the caller).
@@ -181,16 +243,26 @@ impl WorkerPool {
         }
         let nw = self.handles.len();
         let mut qs: Vec<VecDeque<usize>> = (0..nw).map(|_| VecDeque::new()).collect();
-        match self.policy {
-            SchedPolicy::WorkSteal => {
-                for t in 0..n {
-                    qs[t % nw].push_back(t);
+        let mut steal_rot = 0usize;
+        let mut steal_first = false;
+        if let Some(seed) = self.adversary {
+            let round_no = self.rounds.fetch_add(1, Ordering::Relaxed);
+            let mut rng = AdversaryRng::new(seed, round_no);
+            adversarial_distribute(&mut qs, n, &mut rng);
+            steal_rot = rng.below(nw);
+            steal_first = rng.next() & 1 == 1;
+        } else {
+            match self.policy {
+                SchedPolicy::WorkSteal => {
+                    for t in 0..n {
+                        qs[t % nw].push_back(t);
+                    }
                 }
-            }
-            SchedPolicy::StaticChunk => {
-                let chunk = n.div_ceil(nw).max(1);
-                for t in 0..n {
-                    qs[(t / chunk).min(nw - 1)].push_back(t);
+                SchedPolicy::StaticChunk => {
+                    let chunk = n.div_ceil(nw).max(1);
+                    for t in 0..n {
+                        qs[(t / chunk).min(nw - 1)].push_back(t);
+                    }
                 }
             }
         }
@@ -201,6 +273,8 @@ impl WorkerPool {
             results: (0..n).map(|_| Mutex::new(None)).collect(),
             remaining: AtomicUsize::new(n),
             panics: Mutex::new(Vec::new()),
+            steal_rot,
+            steal_first,
         });
         {
             let mut st = lock(&self.shared.state);
@@ -229,7 +303,7 @@ impl WorkerPool {
     /// Runs a round on the calling thread (single-thread pools and
     /// trivial rounds). Panics propagate directly to the caller.
     fn run_inline(&self, ctx: &RoundCtx) -> RoundResult {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut scratch = lock(&self.scratch);
         let outcomes: Vec<Option<WindowOutcome>> = ctx
             .windows
@@ -247,7 +321,9 @@ impl WorkerPool {
                 ))
             })
             .collect();
-        let busy = start.elapsed().as_nanos() as u64;
+        // Rule D4: release the scratch guard before any telemetry send.
+        drop(scratch);
+        let busy = start.elapsed_nanos();
         ctx.metrics
             .record_gauge(SchedGauge::TasksExecuted, ctx.windows.len() as u64);
         ctx.metrics.record_gauge(SchedGauge::WorkerBusyNanos, busy);
@@ -310,7 +386,7 @@ fn worker_main(shared: &PoolShared, me: usize) {
 
 /// Drains tasks for one attached worker and records the scheduler gauges.
 fn run_tasks(round: &RoundState, me: usize, scratch: &mut SolveScratch) {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let me = me % round.queues.len();
     let mut executed = 0u64;
     let mut steals = 0u64;
@@ -338,7 +414,7 @@ fn run_tasks(round: &RoundState, me: usize, scratch: &mut SolveScratch) {
         // is visible; the committing thread acquires on this counter.
         round.remaining.fetch_sub(1, Ordering::AcqRel);
     }
-    let busy = start.elapsed().as_nanos() as u64;
+    let busy = start.elapsed_nanos();
     let m = &round.ctx.metrics;
     m.record_gauge(SchedGauge::TasksExecuted, executed);
     m.record_gauge(SchedGauge::Steals, steals);
@@ -346,19 +422,76 @@ fn run_tasks(round: &RoundState, me: usize, scratch: &mut SolveScratch) {
     m.record_gauge(SchedGauge::WorkerBusyMaxNanos, busy);
 }
 
+/// Fills the round's queues under one of the adversary's four worst-case
+/// interleaving modes, drawn from the per-round stream.
+fn adversarial_distribute(qs: &mut [VecDeque<usize>], n: usize, rng: &mut AdversaryRng) {
+    let nw = qs.len();
+    match rng.below(4) {
+        0 => {
+            // Permuted stripes: Fisher–Yates shuffle of the task order
+            // before striping, so no worker sees ascending indices.
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                order.swap(i, rng.below(i + 1));
+            }
+            for (k, &t) in order.iter().enumerate() {
+                qs[k % nw].push_back(t);
+            }
+        }
+        1 => {
+            // All tasks on one victim queue: every other worker must
+            // steal (from the back, so the victim and thieves collide).
+            let victim = rng.below(nw);
+            for t in 0..n {
+                qs[victim].push_back(t);
+            }
+        }
+        2 => {
+            // Reversed drains: push_front makes each owner pop its
+            // stripe in descending task order while thieves steal
+            // ascending ones from the back.
+            for t in 0..n {
+                qs[t % nw].push_front(t);
+            }
+        }
+        _ => {
+            // Rotated chunks: contiguous chunks land on shifted owners,
+            // maximally unlike the striped default.
+            let rot = rng.below(nw);
+            let chunk = n.div_ceil(nw).max(1);
+            for t in 0..n {
+                qs[((t / chunk) + rot) % nw].push_back(t);
+            }
+        }
+    }
+}
+
 /// Pops the next task: own deque front first, then (work-stealing only)
-/// the back of the other workers' deques.
+/// the back of the other workers' deques. Adversarial rounds may rotate
+/// the victim order (`steal_rot`) or steal before the own drain
+/// (`steal_first`).
 fn claim_task(round: &RoundState, me: usize, steals: &mut u64) -> Option<usize> {
-    if let Some(t) = lock(&round.queues[me]).pop_front() {
-        return Some(t);
+    let pop_own = |round: &RoundState| lock(&round.queues[me]).pop_front();
+    if !round.steal_first {
+        if let Some(t) = pop_own(round) {
+            return Some(t);
+        }
     }
-    if round.policy == SchedPolicy::StaticChunk {
-        return None;
+    if round.policy == SchedPolicy::WorkSteal {
+        let nq = round.queues.len();
+        for off in 0..nq {
+            let victim = (me + round.steal_rot + off) % nq;
+            if victim == me {
+                continue;
+            }
+            if let Some(t) = lock(&round.queues[victim]).pop_back() {
+                *steals += 1;
+                return Some(t);
+            }
+        }
     }
-    let nq = round.queues.len();
-    for off in 1..nq {
-        if let Some(t) = lock(&round.queues[(me + off) % nq]).pop_back() {
-            *steals += 1;
+    if round.steal_first {
+        if let Some(t) = pop_own(round) {
             return Some(t);
         }
     }
@@ -388,6 +521,40 @@ mod tests {
         for _ in 0..3 {
             let pool = WorkerPool::new(2, SchedPolicy::WorkSteal);
             assert_eq!(pool.workers(), 2);
+        }
+    }
+
+    #[test]
+    fn adversarial_pool_forces_work_stealing() {
+        let pool = WorkerPool::new_adversarial(4, 7);
+        assert_eq!(pool.workers(), 4);
+        assert_eq!(pool.policy, SchedPolicy::WorkSteal);
+        assert_eq!(pool.adversary, Some(7));
+    }
+
+    #[test]
+    fn adversary_stream_is_deterministic_per_round() {
+        let draws = |seed, round| {
+            let mut rng = AdversaryRng::new(seed, round);
+            [rng.next(), rng.next(), rng.next()]
+        };
+        assert_eq!(draws(42, 0), draws(42, 0), "same (seed, round) replays");
+        assert_ne!(draws(42, 0), draws(42, 1), "rounds draw distinct streams");
+        assert_ne!(draws(42, 0), draws(43, 0), "seeds draw distinct streams");
+        // Seed 0 must not collapse the xorshift state to zero.
+        let mut zero = AdversaryRng::new(0, 0);
+        assert_ne!(zero.next(), 0);
+    }
+
+    #[test]
+    fn adversarial_distribution_covers_every_task_once() {
+        for seed in 0..32u64 {
+            let mut rng = AdversaryRng::new(seed, 0);
+            let mut qs: Vec<VecDeque<usize>> = (0..4).map(|_| VecDeque::new()).collect();
+            adversarial_distribute(&mut qs, 23, &mut rng);
+            let mut seen: Vec<usize> = qs.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..23).collect::<Vec<_>>(), "seed {seed}");
         }
     }
 }

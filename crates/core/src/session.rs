@@ -22,8 +22,8 @@ use crate::objective::{calculate_obj, Objective};
 use crate::sched::WorkerPool;
 use crate::Vm1Config;
 use std::sync::Arc;
-use std::time::Instant;
 use vm1_netlist::Design;
+use vm1_obs::timer::Stopwatch;
 use vm1_obs::{
     Counter, MetricsHandle, MetricsReport, MetricsSink, Stage, Telemetry, TrajectoryPoint,
 };
@@ -130,6 +130,20 @@ impl Vm1Optimizer {
         }
     }
 
+    /// Replaces the session's worker pool with one scheduled by the
+    /// seeded adversary: every round's task distribution, steal-victim
+    /// rotation, and drain order are drawn from a deterministic
+    /// per-round stream (see `sched` module docs). Results must be
+    /// bit-identical to a normal run — this hook exists solely for the
+    /// schedule-permutation model-checking tests and is not part of the
+    /// stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_adversarial_sched(mut self, seed: u64) -> Vm1Optimizer {
+        self.pool = WorkerPool::new_adversarial(self.cfg.threads, seed);
+        self
+    }
+
     /// Enables the smart window-selection cache (paper improvement (ii)).
     /// The cache is owned by the session, so it persists across
     /// [`Self::run`] calls.
@@ -180,7 +194,7 @@ impl Vm1Optimizer {
     /// The placement is modified in place and stays legal; returns run
     /// statistics.
     pub fn run(&mut self, design: &mut Design) -> OptStats {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let telemetry = Arc::new(Telemetry::new());
         let metrics = self.user_metrics.and(telemetry.clone());
         let cfg = &self.cfg;
@@ -291,10 +305,10 @@ impl Vm1Optimizer {
             "objective dM1 bookkeeping diverged from the placement"
         );
 
-        metrics.record_time(Stage::Vm1Opt, start.elapsed().as_nanos() as u64);
+        metrics.record_time(Stage::Vm1Opt, start.elapsed_nanos());
         let report = telemetry.report();
         let mut stats = OptStats::from_report(&report, &initial, &cur);
-        stats.runtime_ms = start.elapsed().as_millis() as u64;
+        stats.runtime_ms = start.elapsed_ms();
         self.last_report = Some(report);
         stats
     }

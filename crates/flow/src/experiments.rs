@@ -6,9 +6,9 @@
 //! paper's absolute design sizes; see DESIGN.md §5).
 
 use crate::{build_testcase, measure, optimize_and_measure, ExperimentRow, FlowConfig};
-use std::time::Instant;
 use vm1_core::{ParamSet, Vm1Config};
 use vm1_netlist::generator::DesignProfile;
+use vm1_obs::timer::Stopwatch;
 use vm1_tech::CellArch;
 
 /// Effort level of an experiment run.
@@ -188,7 +188,7 @@ pub fn expt_a3(scale: ExperimentScale) -> Vec<A3Row> {
     for (id, label, seq) in sequences {
         let mut tc = build_testcase(&base);
         let cfg = Vm1Config::closedm1().with_sequence(seq);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let row = optimize_and_measure(&mut tc, &cfg);
         let _ = start;
         rows.push(A3Row {

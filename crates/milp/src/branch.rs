@@ -19,7 +19,7 @@ use crate::lp::{solve_lp, LpStatus};
 use crate::model::{Model, VarId, VarKind};
 use crate::presolve::presolve;
 use crate::tol::{DEFAULT_ABS_GAP, FEASIBILITY_TOL, INT_TOL};
-use std::time::Instant;
+use vm1_obs::timer::Stopwatch;
 use vm1_obs::{Counter, MetricsHandle};
 
 /// Outcome class of a MILP solve.
@@ -240,7 +240,7 @@ impl<'a> Solver<'a> {
     }
 
     fn run_inner(&mut self) -> MilpSolution {
-        let start = Instant::now();
+        let start = Stopwatch::start();
 
         if let Some(ws) = self.params.warm_start.take() {
             if self.model.is_feasible(&ws, FEASIBILITY_TOL) {
@@ -304,7 +304,7 @@ impl<'a> Solver<'a> {
 
         while let Some(node) = stack.pop() {
             if self.nodes >= self.params.max_nodes
-                || start.elapsed().as_millis() as u64 >= self.params.time_limit_ms
+                || start.elapsed_ms() >= self.params.time_limit_ms
             {
                 saw_limit = true;
                 break;

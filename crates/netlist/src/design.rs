@@ -1,4 +1,3 @@
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use vm1_geom::{Dbu, Interval, Orient, Point, Rect};
@@ -461,7 +460,11 @@ impl Design {
     ///
     /// Returns the first violated invariant.
     pub fn validate_placement(&self) -> Result<(), DesignError> {
-        let mut rows: HashMap<i64, Vec<(i64, i64, usize)>> = HashMap::new();
+        // Ordered by row so "the first violated invariant" is the same
+        // violation on every run (a hash map here made the reported
+        // overlap hash-order-dependent).
+        let mut rows: std::collections::BTreeMap<i64, Vec<(i64, i64, usize)>> =
+            std::collections::BTreeMap::new();
         for (i, inst) in self.insts.iter().enumerate() {
             let w = self.library.cell(inst.cell).width_sites;
             if inst.row < 0
@@ -593,6 +596,29 @@ mod tests {
         ));
         d.move_inst(InstId(1), 4, 0, Orient::North); // abutment is legal
         assert!(d.validate_placement().is_ok());
+    }
+
+    /// Regression for determinism rule D1: with overlaps in several rows,
+    /// `validate_placement` must always report the lowest-row, lowest-site
+    /// violation. The old `HashMap` grouping reported whichever row the
+    /// hasher visited first.
+    #[test]
+    fn overlap_report_is_lowest_row_first() {
+        let mut d = small_design();
+        // Overlap in row 2 (u3 on itself is impossible; pile u2 onto u3)...
+        d.move_inst(InstId(1), 20, 2, Orient::North);
+        // ...and another overlap in row 0 (u1 sits at site 0, width 4).
+        let inv = d.library().cell_index("INV_X1").unwrap();
+        let u4 = d.add_inst("u4", inv);
+        d.move_inst(u4, 2, 0, Orient::North);
+        for _ in 0..4 {
+            match d.validate_placement() {
+                Err(DesignError::Overlap(a, b)) => {
+                    assert_eq!((a.as_str(), b.as_str()), ("u1", "u4"));
+                }
+                other => panic!("expected overlap, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -39,10 +39,12 @@
 
 #![warn(missing_docs)]
 
+pub mod timer;
+
+use crate::timer::Stopwatch;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Counters
@@ -124,11 +126,17 @@ pub enum Counter {
     CertVerified,
     /// Certificates rejected by the exact-arithmetic checker.
     CertRejected,
+    /// Unwaived findings reported by the `vm1-analyze` static
+    /// determinism/concurrency lint pack.
+    AnalyzeFindings,
+    /// Findings suppressed by a reasoned waiver marker
+    /// (`// analyze: nondeterministic-ok(..)` / `// lint: allow(..)`).
+    AnalyzeWaived,
 }
 
 impl Counter {
     /// Every counter, in discriminant order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 31] = [
         Counter::BbNodes,
         Counter::BbNodesPruned,
         Counter::LpSolves,
@@ -158,6 +166,8 @@ impl Counter {
         Counter::CertRecorded,
         Counter::CertVerified,
         Counter::CertRejected,
+        Counter::AnalyzeFindings,
+        Counter::AnalyzeWaived,
     ];
 
     /// Stable snake_case name used as the JSON/CSV key.
@@ -193,6 +203,8 @@ impl Counter {
             Counter::CertRecorded => "cert_recorded",
             Counter::CertVerified => "cert_verified",
             Counter::CertRejected => "cert_rejected",
+            Counter::AnalyzeFindings => "analyze_findings",
+            Counter::AnalyzeWaived => "analyze_waived",
         }
     }
 }
@@ -575,9 +587,9 @@ impl MetricsHandle {
         if self.sinks.is_empty() {
             return f();
         }
-        let start = Instant::now();
+        let sw = Stopwatch::start();
         let out = f();
-        self.record_time(stage, start.elapsed().as_nanos() as u64);
+        self.record_time(stage, sw.elapsed_nanos());
         out
     }
 }

@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use vm1_geom::{Dbu, Interval};
 use vm1_netlist::{Design, NetPin};
 use vm1_tech::{Layer, LayerDir};
@@ -257,7 +257,7 @@ impl RoutingGrid {
     /// Whether the node is free to route through, treating nodes in
     /// `allowed` (the current net's own pins) as passable.
     #[must_use]
-    pub fn passable(&self, id: NodeId, allowed: &HashSet<NodeId>) -> bool {
+    pub fn passable(&self, id: NodeId, allowed: &BTreeSet<NodeId>) -> bool {
         !self.blocked[id as usize] || allowed.contains(&id)
     }
 

@@ -3,7 +3,7 @@
 use crate::grid::{Edge, RoutingGrid};
 use crate::NodeId;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use vm1_tech::{Layer, LayerDir};
 
 /// Cost weights for the maze search (a view into the router config).
@@ -105,8 +105,8 @@ pub fn search(
     grid: &RoutingGrid,
     space: &mut SearchSpace,
     sources: &[NodeId],
-    targets: &HashSet<NodeId>,
-    allowed: &HashSet<NodeId>,
+    targets: &BTreeSet<NodeId>,
+    allowed: &BTreeSet<NodeId>,
     costs: MazeCosts,
     bbox: SearchBox,
 ) -> Option<Vec<NodeId>> {
@@ -277,8 +277,8 @@ mod tests {
             &g,
             &mut sp,
             &[s],
-            &HashSet::from([t]),
-            &HashSet::new(),
+            &BTreeSet::from([t]),
+            &BTreeSet::new(),
             costs(),
             SearchBox::whole(&g),
         )
@@ -298,8 +298,8 @@ mod tests {
             &g,
             &mut sp,
             &[s],
-            &HashSet::from([t]),
-            &HashSet::new(),
+            &BTreeSet::from([t]),
+            &BTreeSet::new(),
             costs(),
             SearchBox::whole(&g),
         )
@@ -323,8 +323,8 @@ mod tests {
             &g,
             &mut sp,
             &[s],
-            &HashSet::from([t]),
-            &HashSet::new(),
+            &BTreeSet::from([t]),
+            &BTreeSet::new(),
             costs(),
             SearchBox::whole(&g),
         )
@@ -346,8 +346,8 @@ mod tests {
             &g,
             &mut sp,
             &[s],
-            &HashSet::from([t]),
-            &HashSet::new(),
+            &BTreeSet::from([t]),
+            &BTreeSet::new(),
             costs(),
             SearchBox::whole(&g),
         )
@@ -358,8 +358,8 @@ mod tests {
             &g,
             &mut sp,
             &[s],
-            &HashSet::from([t]),
-            &HashSet::from([mid]),
+            &BTreeSet::from([t]),
+            &BTreeSet::from([mid]),
             costs(),
             SearchBox::whole(&g),
         )
@@ -383,8 +383,8 @@ mod tests {
             &g,
             &mut sp,
             &[s],
-            &HashSet::from([t]),
-            &HashSet::new(),
+            &BTreeSet::from([t]),
+            &BTreeSet::new(),
             costs(),
             tight
         )
@@ -408,8 +408,8 @@ mod tests {
             &g,
             &mut sp,
             &[s],
-            &HashSet::from([t]),
-            &HashSet::new(),
+            &BTreeSet::from([t]),
+            &BTreeSet::new(),
             costs(),
             SearchBox::whole(&g),
         )
@@ -417,6 +417,36 @@ mod tests {
         // The router should avoid the congested track (detour via another
         // track/layer), so the path is not the straight 11-node line.
         assert!(path.len() > 11);
+    }
+
+    /// Regression for determinism rule D1: `search` takes its target and
+    /// allowance sets as `BTreeSet` so tie-breaks between equidistant
+    /// targets never depend on hash-iteration order. Repeated searches
+    /// (fresh scratch each time) must return the identical path.
+    #[test]
+    fn equidistant_targets_resolve_deterministically() {
+        let g = empty_grid(3, 30);
+        let s = g.node(Layer::M2, 10, 5);
+        // Two targets at equal Manhattan distance from the source.
+        let targets = BTreeSet::from([g.node(Layer::M2, 6, 5), g.node(Layer::M2, 14, 5)]);
+        let mut first: Option<Vec<NodeId>> = None;
+        for _ in 0..4 {
+            let mut sp = SearchSpace::new(g.num_nodes());
+            let path = search(
+                &g,
+                &mut sp,
+                &[s],
+                &targets,
+                &BTreeSet::new(),
+                costs(),
+                SearchBox::whole(&g),
+            )
+            .expect("path");
+            match &first {
+                None => first = Some(path),
+                Some(p) => assert_eq!(p, &path, "same query must give the same path"),
+            }
+        }
     }
 
     #[test]
@@ -430,8 +460,8 @@ mod tests {
             &g,
             &mut sp,
             &[far, near],
-            &HashSet::from([t]),
-            &HashSet::new(),
+            &BTreeSet::from([t]),
+            &BTreeSet::new(),
             costs(),
             SearchBox::whole(&g),
         )

@@ -5,7 +5,7 @@
 use crate::grid::{Edge, PinAccess, RoutingGrid};
 use crate::maze::{search, MazeCosts, SearchBox, SearchSpace};
 use crate::NodeId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use vm1_geom::Dbu;
 use vm1_netlist::{Design, NetId};
 use vm1_tech::Layer;
@@ -205,7 +205,7 @@ fn route_net(
     if pins.len() < 2 {
         return out;
     }
-    let allowed: HashSet<NodeId> = pins.iter().flat_map(|p| p.nodes.iter().copied()).collect();
+    let allowed: BTreeSet<NodeId> = pins.iter().flat_map(|p| p.nodes.iter().copied()).collect();
     let costs = MazeCosts {
         via_cost: cfg.via_cost,
         overflow_penalty: cfg.overflow_penalty,
@@ -251,7 +251,7 @@ fn route_net(
         }
 
         // --- maze routing ----------------------------------------------
-        let targets: HashSet<NodeId> = target.nodes.iter().copied().collect();
+        let targets: BTreeSet<NodeId> = target.nodes.iter().copied().collect();
         let mut bbox = tree_bbox(grid, &tree_nodes, target).expanded(cfg.bbox_margin, grid);
         let mut path = None;
         for attempt in 0..3 {
@@ -326,7 +326,7 @@ fn try_dm1(
     grid: &RoutingGrid,
     a: &PinAccess,
     b: &PinAccess,
-    allowed: &HashSet<NodeId>,
+    allowed: &BTreeSet<NodeId>,
     gamma: i64,
     delta: Dbu,
 ) -> Option<DmPlan> {
@@ -514,12 +514,12 @@ fn commit_path(
     // A maze path that happens to be exactly one M1 segment with only pin
     // vias also counts as a direct vertical M1 route — within the same
     // γ-row span the metric uses everywhere else.
-    let wire_layers: HashSet<usize> = out.segments.iter().map(|s| s.layer.index()).collect();
+    let wire_layers: BTreeSet<usize> = out.segments.iter().map(|s| s.layer.index()).collect();
     let span_ok = out
         .segments
         .last()
         .is_some_and(|s| (s.y1 - s.y0).abs() <= max_dm1_span_tracks);
-    if m1_runs == 1 && !non_pin_via && span_ok && wire_layers == HashSet::from([Layer::M1.index()])
+    if m1_runs == 1 && !non_pin_via && span_ok && wire_layers == BTreeSet::from([Layer::M1.index()])
     {
         out.dm1 += 1;
     }

@@ -16,10 +16,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== analyze: determinism & concurrency lints (vm1-analyze) =="
+# Runs before the test suite: AST-level rules D1-D5 over every library
+# source, with the waived inventory pinned to scripts/analyze-baseline.txt.
+cargo run -q -p vm1-analyze -- --root . --baseline scripts/analyze-baseline.txt
+
 echo "== cargo test =="
 cargo test -q
 
-echo "== audit: source lint =="
+echo "== audit: source lint (wrapper over vm1-analyze) =="
 scripts/lint
 
 echo "== audit: debug-assertion test pass (placement checkpoints active) =="
